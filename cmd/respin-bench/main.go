@@ -1,0 +1,132 @@
+// Command respin-bench regenerates the paper's full evaluation: every
+// table and figure of Section V plus the motivating Figure 1, printed as
+// ASCII tables/charts with a paper-vs-measured summary.
+//
+// Usage:
+//
+//	respin-bench [-quick] [-quota N] [-trace-quota N] [-benches a,b,c]
+//	             [-only fig9] [-seed N] [-o out.txt] [-q]
+//
+// The full run simulates hundreds of configurations and takes tens of
+// minutes on one core; -quick runs a four-benchmark subset in a few
+// minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"respin/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced benchmark set and quotas")
+	quota := flag.Uint64("quota", 0, "override per-thread instruction budget")
+	traceQuota := flag.Uint64("trace-quota", 0, "override consolidation-trace budget")
+	benches := flag.String("benches", "", "comma-separated benchmark subset")
+	only := flag.String("only", "", "run a single experiment: fig1,fig2,tab1,tab3,tab4,vmin,area,variation,workloads,fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14")
+	seed := flag.Int64("seed", 0, "override randomness seed")
+	out := flag.String("o", "", "also write the report to this file")
+	jsonOut := flag.String("json", "", "write the comparison summary as JSON to this file")
+	quiet := flag.Bool("q", false, "suppress per-run progress")
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	if *quick {
+		r = experiments.QuickRunner()
+	}
+	if *quota != 0 {
+		r.Quota = *quota
+	}
+	if *traceQuota != 0 {
+		r.TraceQuota = *traceQuota
+	}
+	if *benches != "" {
+		r.Benches = strings.Split(*benches, ",")
+	}
+	if *seed != 0 {
+		r.Seed = *seed
+	}
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
+
+	var text string
+	if *only != "" {
+		text = runOne(r, *only)
+	} else {
+		suite := r.All()
+		text = suite.Report()
+		if *jsonOut != "" {
+			data, err := suite.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runOne dispatches a single experiment by id.
+func runOne(r *experiments.Runner, id string) string {
+	switch id {
+	case "fig1":
+		return experiments.Figure1().Render()
+	case "tab1":
+		return experiments.TableI()
+	case "tab3":
+		return experiments.TableIII()
+	case "tab4":
+		return experiments.TableIV()
+	case "fig6":
+		return r.Figure6().Render()
+	case "fig7":
+		return r.Figure7().Render()
+	case "fig8":
+		return r.Figure8().Render()
+	case "fig9":
+		return r.Figure9().Render()
+	case "sweep", "tabV-D":
+		return r.ClusterSweep().Render()
+	case "fig10":
+		return r.Figure10().Render()
+	case "fig11":
+		return r.Figure11().Render()
+	case "fig12":
+		return r.ConsolidationTrace("radix").Render()
+	case "fig13":
+		return r.ConsolidationTrace("lu").Render()
+	case "fig14":
+		return r.Figure14().Render()
+	case "floorplan", "fig2":
+		return experiments.Floorplan()
+	case "vmin":
+		return experiments.VminStudy().Render()
+	case "area":
+		return experiments.AreaStudy().Render()
+	case "variation":
+		return experiments.VariationStudy().Render()
+	case "workloads":
+		return r.WorkloadTable().Render()
+	default:
+		fmt.Fprintf(os.Stderr, "respin-bench: unknown experiment %q\n", id)
+		os.Exit(2)
+		return ""
+	}
+}
+
+var _ io.Writer // keep io imported for the Progress field's documentation

@@ -1,0 +1,128 @@
+// Command respin-sim runs a single simulation: one Table IV
+// configuration on one benchmark, and prints timing, power, energy and
+// shared-cache statistics.
+//
+// Usage:
+//
+//	respin-sim [-config SH-STT] [-bench fft] [-scale medium]
+//	           [-cluster 16] [-quota 150000] [-seed 1] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"respin/internal/config"
+	"respin/internal/power"
+	"respin/internal/report"
+	"respin/internal/sim"
+	"respin/internal/trace"
+	"respin/internal/variation"
+)
+
+func main() {
+	cfgName := flag.String("config", "SH-STT", "Table IV configuration name")
+	bench := flag.String("bench", "fft", "benchmark name (see -list)")
+	scaleName := flag.String("scale", "medium", "cache scale: small, medium, large")
+	cluster := flag.Int("cluster", 16, "cores per cluster (4, 8, 16, 32)")
+	quota := flag.Uint64("quota", sim.DefaultQuota, "per-thread instruction budget")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	epochTrace := flag.Bool("trace", false, "print the consolidation trace")
+	dieMap := flag.Bool("diemap", false, "print the variation die map before running")
+	list := flag.Bool("list", false, "list configurations and benchmarks")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("configurations:")
+		for _, k := range config.AllArchKinds {
+			fmt.Printf("  %-18s %s\n", k, k.Description())
+		}
+		fmt.Println("benchmarks:")
+		for _, n := range trace.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	kind, err := kindByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := config.NewWithCluster(kind, scale, *cluster)
+	if *dieMap {
+		vm := variation.Generate(cfg.VariationSeed, 8, 8, cfg.CoreVdd, variation.DefaultParams())
+		fmt.Println("variation die map (core clock multiples; ---- = cluster boundary):")
+		fmt.Print(vm.DieMap(cfg.ClusterSize))
+		fmt.Println()
+	}
+	res, err := sim.Run(cfg, *bench, sim.Options{
+		QuotaInstr: *quota, Seed: *seed, EpochTrace: *epochTrace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%v on %s (%v cache, %d-core clusters, %d instr/thread)\n\n",
+		kind, *bench, scale, *cluster, *quota)
+	t := report.NewTable("", "metric", "value")
+	t.AddRow("execution time", report.Millis(res.TimePS))
+	t.AddRow("cache cycles", fmt.Sprintf("%d", res.Cycles))
+	t.AddRow("instructions", fmt.Sprintf("%d", res.Instructions))
+	t.AddRow("chip IPC (per cache cycle)", fmt.Sprintf("%.2f", res.IPC()))
+	t.AddRow("energy", report.Joules(res.EnergyPJ))
+	t.AddRow("average power", report.Watts(res.AvgPowerW))
+	t.AddRow("  core dynamic", report.Joules(res.Energy.PJ(power.CoreDynamic)))
+	t.AddRow("  core leakage", report.Joules(res.Energy.PJ(power.CoreLeakage)))
+	t.AddRow("  cache dynamic", report.Joules(res.Energy.PJ(power.CacheDynamic)))
+	t.AddRow("  cache leakage", report.Joules(res.Energy.PJ(power.CacheLeakage)))
+	t.AddRow("  level shifters", report.Joules(res.Energy.PJ(power.Shifter)))
+	t.AddRow("L1D miss rate", report.PctU(res.L1DMissRate))
+	if res.ArrivalsPerCycle.Total() > 0 {
+		t.AddRow("half-miss rate", report.PctU(res.HalfMissRate))
+		t.AddRow("1-core-cycle reads", report.PctU(res.ReadCoreCycles.Fraction(1)))
+	}
+	if res.ActiveCores.N() > 0 {
+		t.AddRow("active cores (mean/min/max)", fmt.Sprintf("%.1f / %.0f / %.0f",
+			res.ActiveCores.Mean(), res.ActiveCores.Min(), res.ActiveCores.Max()))
+		t.AddRow("migrations", fmt.Sprintf("%d", res.Stats.Migrations))
+	}
+	fmt.Print(t.String())
+
+	if *epochTrace && res.Trace.Len() > 0 {
+		fmt.Println()
+		fmt.Print(report.Trace("consolidation trace (active cores, cluster 0):", &res.Trace, 16, 32, 32))
+	}
+}
+
+func kindByName(name string) (config.ArchKind, error) {
+	for _, k := range config.AllArchKinds {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown configuration %q (try -list)", name)
+}
+
+func scaleByName(name string) (config.CacheScale, error) {
+	switch strings.ToLower(name) {
+	case "small":
+		return config.Small, nil
+	case "medium":
+		return config.Medium, nil
+	case "large":
+		return config.Large, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "respin-sim: %v\n", err)
+	os.Exit(1)
+}

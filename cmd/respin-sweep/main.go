@@ -1,0 +1,100 @@
+// Command respin-sweep runs parameter sweeps around the paper's design
+// points: cluster size (Section V.D), consolidation epoch length,
+// store-buffer depth tolerance of the slow STT-RAM writes, and the
+// arbitration-policy ablation (priority registers vs FIFO).
+//
+// Usage:
+//
+//	respin-sweep -sweep cluster|epoch|arbitration [-bench fft]
+//	             [-quota N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"respin/internal/config"
+	"respin/internal/report"
+	"respin/internal/sim"
+)
+
+func main() {
+	sweep := flag.String("sweep", "cluster", "sweep to run: cluster, epoch, scale")
+	bench := flag.String("bench", "fft", "benchmark")
+	quota := flag.Uint64("quota", 100_000, "per-thread instruction budget")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	flag.Parse()
+
+	opts := sim.Options{QuotaInstr: *quota, Seed: *seed}
+	switch *sweep {
+	case "cluster":
+		sweepCluster(*bench, opts)
+	case "epoch":
+		sweepEpoch(*bench, opts)
+	case "scale":
+		sweepScale(*bench, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "respin-sweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+// sweepCluster reproduces the Section V.D cluster-size study for one
+// benchmark.
+func sweepCluster(bench string, opts sim.Options) {
+	base := mustRun(config.New(config.PRSRAMNT, config.Medium), bench, opts)
+	t := report.NewTable(fmt.Sprintf("cluster-size sweep, %s", bench),
+		"cores/cluster", "shared L1", "time vs baseline", "half-miss", "1-cycle reads")
+	for _, cs := range []int{4, 8, 16, 32} {
+		res := mustRun(config.NewWithCluster(config.SHSTT, config.Medium, cs), bench, opts)
+		t.AddRow(fmt.Sprintf("%d", cs), fmt.Sprintf("%dKB", 16*cs),
+			report.Norm(float64(res.Cycles)/float64(base.Cycles)),
+			report.PctU(res.HalfMissRate),
+			report.PctU(res.ReadCoreCycles.Fraction(1)))
+	}
+	fmt.Print(t.String())
+}
+
+// sweepEpoch varies the consolidation epoch around the paper's 160K
+// instructions.
+func sweepEpoch(bench string, opts sim.Options) {
+	base := mustRun(config.New(config.SHSTT, config.Medium), bench, opts)
+	t := report.NewTable(fmt.Sprintf("consolidation epoch sweep, %s (energy vs SH-STT)", bench),
+		"epoch instr", "energy", "time", "mean active", "migrations")
+	for _, epoch := range []uint64{40_000, 80_000, 160_000, 320_000, 640_000} {
+		cfg := config.New(config.SHSTTCC, config.Medium)
+		cfg.ConsolidationParams.EpochInstructions = epoch
+		res := mustRun(cfg, bench, opts)
+		t.AddRow(fmt.Sprintf("%d", epoch),
+			report.Norm(res.EnergyPJ/base.EnergyPJ),
+			report.Norm(float64(res.Cycles)/float64(base.Cycles)),
+			fmt.Sprintf("%.1f", res.ActiveCores.Mean()),
+			fmt.Sprintf("%d", res.Stats.Migrations))
+	}
+	fmt.Print(t.String())
+}
+
+// sweepScale compares the three Table I cache scales for one benchmark.
+func sweepScale(bench string, opts sim.Options) {
+	t := report.NewTable(fmt.Sprintf("cache-scale sweep, %s", bench),
+		"scale", "config", "time", "power", "energy")
+	for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
+		for _, kind := range []config.ArchKind{config.PRSRAMNT, config.SHSTT} {
+			res := mustRun(config.New(kind, scale), bench, opts)
+			t.AddRow(scale.String(), kind.String(),
+				report.Millis(res.TimePS), report.Watts(res.AvgPowerW),
+				report.Joules(res.EnergyPJ))
+		}
+	}
+	fmt.Print(t.String())
+}
+
+func mustRun(cfg config.Config, bench string, opts sim.Options) sim.Result {
+	res, err := sim.Run(cfg, bench, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "respin-sweep: %v\n", err)
+		os.Exit(1)
+	}
+	return res
+}

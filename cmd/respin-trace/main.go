@@ -1,0 +1,95 @@
+// Command respin-trace runs one simulation and dumps its time-resolved
+// data as CSV for external plotting: the consolidation trace (Figures
+// 12/13), the shared-cache arrival and service-latency histograms
+// (Figures 10/11), and the load-latency distribution.
+//
+// Usage:
+//
+//	respin-trace -config SH-STT-CC -bench radix -quota 400000 > radix.csv
+//	respin-trace -what histograms -config SH-STT -bench ocean
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"respin/internal/config"
+	"respin/internal/sim"
+)
+
+func main() {
+	cfgName := flag.String("config", "SH-STT-CC", "Table IV configuration name")
+	bench := flag.String("bench", "radix", "benchmark name")
+	quota := flag.Uint64("quota", 400_000, "per-thread instruction budget")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	what := flag.String("what", "trace", "output: trace, histograms")
+	flag.Parse()
+
+	kind, err := kindByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(config.New(kind, config.Medium), *bench, sim.Options{
+		QuotaInstr: *quota, Seed: *seed, EpochTrace: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch *what {
+	case "trace":
+		must(w.Write([]string{"time_us", "active_cores"}))
+		for i := range res.Trace.Values {
+			must(w.Write([]string{
+				strconv.FormatFloat(res.Trace.Times[i], 'f', 3, 64),
+				strconv.FormatFloat(res.Trace.Values[i], 'f', 0, 64),
+			}))
+		}
+	case "histograms":
+		must(w.Write([]string{"histogram", "bucket", "fraction"}))
+		for i := 0; i <= 4; i++ {
+			label := strconv.Itoa(i)
+			if i == 4 {
+				label = "4+"
+			}
+			must(w.Write([]string{"arrivals_per_cycle", label,
+				strconv.FormatFloat(res.ArrivalsPerCycle.Fraction(i), 'f', 6, 64)}))
+		}
+		for i := 1; i <= 3; i++ {
+			label := strconv.Itoa(i)
+			if i == 3 {
+				label = "3+"
+			}
+			must(w.Write([]string{"read_core_cycles", label,
+				strconv.FormatFloat(res.ReadCoreCycles.Fraction(i), 'f', 6, 64)}))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -what %q", *what))
+	}
+}
+
+func kindByName(name string) (config.ArchKind, error) {
+	for _, k := range config.AllArchKinds {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown configuration %q", name)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "respin-trace: %v\n", err)
+	os.Exit(1)
+}

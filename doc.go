@@ -1,0 +1,12 @@
+// Package respin reproduces "Respin: Rethinking Near-Threshold
+// Multiprocessor Design with Non-Volatile Memory" (Pan, Bacha,
+// Teodorescu; IPDPS 2017) as a self-contained Go library: a cycle-driven
+// 64-core near-threshold CMP simulator with cluster-shared STT-RAM
+// caches behind a time-multiplexing controller, a MESI private-cache
+// baseline, and the paper's dynamic core-consolidation system.
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the
+// implementation lives under internal/ (see DESIGN.md for the map) and
+// runnable entry points under cmd/ and examples/.
+package respin

@@ -1,0 +1,49 @@
+// Clustersweep reproduces the Section V.D study: how large should a
+// cluster sharing one L1 be? Performance improves up to 16 cores per
+// cluster, then collapses at 32 as the bigger, slower shared cache is
+// overwhelmed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"respin/internal/config"
+	"respin/internal/core"
+	"respin/internal/report"
+)
+
+func main() {
+	const bench = "ocean"
+	const quota = 50_000
+
+	base, err := core.NewSystem(core.Baseline(), core.WithQuota(quota))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bres, err := base.Run(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable(fmt.Sprintf("shared-L1 cluster-size sweep (%s)", bench),
+		"cores/cluster", "shared L1", "time vs baseline", "half-misses", "1-cycle reads")
+	for _, cs := range []int{4, 8, 16, 32} {
+		sys, err := core.NewSystem(core.SharedSTT(),
+			core.WithQuota(quota), core.WithClusterSize(cs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(fmt.Sprintf("%d", cs),
+			fmt.Sprintf("%dKB", 16*cs),
+			report.Norm(float64(res.Cycles)/float64(bres.Cycles)),
+			report.PctU(res.HalfMissRate),
+			report.PctU(res.ReadCoreCycles.Fraction(1)))
+	}
+	fmt.Print(t.String())
+	_ = config.Medium
+}

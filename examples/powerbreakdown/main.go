@@ -1,0 +1,35 @@
+// Powerbreakdown reproduces the paper's motivating Figure 1: where does
+// the power of a 64-core CMP go at nominal voltage versus near
+// threshold? At NT, leakage dominates and the SRAM caches are roughly
+// half of it — the opening for STT-RAM.
+package main
+
+import (
+	"fmt"
+
+	"respin/internal/config"
+	"respin/internal/power"
+	"respin/internal/report"
+)
+
+func main() {
+	nominal := power.EstimateBreakdown(config.New(config.HPSRAMCMP, config.Medium), 2.5)
+	nt := power.EstimateBreakdown(config.New(config.PRSRAMNT, config.Medium), 0.5)
+
+	for _, p := range []struct {
+		name string
+		b    power.Breakdown
+	}{
+		{"nominal voltage (1.0V cores @2.5GHz, SRAM caches)", nominal},
+		{"near-threshold (0.4V cores @~0.5GHz, 0.65V SRAM caches)", nt},
+	} {
+		fmt.Println(p.name)
+		total := p.b.TotalW()
+		fmt.Print(report.Chart("", []string{
+			"core dynamic", "core leakage", "cache dynamic", "cache leakage",
+		}, []float64{p.b.CoreDynW, p.b.CoreLeakW, p.b.CacheDynW, p.b.CacheLeakW}, 36))
+		fmt.Printf("total %s | leakage share %s | cache share of leakage %s\n\n",
+			report.Watts(total), report.PctU(p.b.LeakFraction()), report.PctU(p.b.CacheLeakShareOfLeak()))
+	}
+	fmt.Printf("NT chip uses %.1fx less power than nominal\n", nominal.TotalW()/nt.TotalW())
+}

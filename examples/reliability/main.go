@@ -1,0 +1,36 @@
+// Reliability shows why near-threshold SRAM caches need their own
+// higher voltage rail — the premise behind the paper's entire design
+// space. It sweeps the supply for each cache of the medium hierarchy
+// and reports the minimum safe voltage under each ECC scheme, next to
+// the ECC overheads that make the "strong ECC" escape hatch unattractive.
+package main
+
+import (
+	"fmt"
+
+	"respin/internal/config"
+	"respin/internal/experiments"
+	"respin/internal/reliability"
+	"respin/internal/report"
+)
+
+func main() {
+	fmt.Print(experiments.VminStudy().Render())
+
+	fmt.Println("\nECC overheads (why \"just add strong ECC\" is unattractive at NT):")
+	t := report.NewTable("", "scheme", "check bits / 64", "area", "read latency", "energy/access")
+	for _, e := range []reliability.ECC{reliability.Parity, reliability.SECDED, reliability.DECTED} {
+		t.AddRow(e.String(),
+			fmt.Sprintf("%d", e.CheckBits()),
+			report.PctU(e.AreaOverhead()),
+			fmt.Sprintf("+%.0f ps", e.LatencyOverheadPS()),
+			report.PctU(e.EnergyOverheadFrac()))
+	}
+	fmt.Print(t.String())
+
+	fmt.Println("\nSRAM cell failure probability vs supply:")
+	for _, v := range []float64{1.0, 0.8, 0.65, 0.5, 0.4} {
+		fmt.Printf("  %.2fV: %8.2e per cell\n", v, reliability.CellFailProb(config.SRAM, v))
+	}
+	fmt.Println("STT-RAM: 0 at any supply (magnetic storage has no voltage floor)")
+}

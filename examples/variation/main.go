@@ -1,0 +1,25 @@
+// Variation renders the process-variation landscape of one die: the
+// per-core clock multiples the VARIUS model assigns at 0.4 V (the
+// heterogeneity the shared-cache controller arbitrates across and the
+// consolidation remapper exploits), plus the sensitivity of the spread
+// to the V_th sigma.
+package main
+
+import (
+	"fmt"
+
+	"respin/internal/config"
+	"respin/internal/experiments"
+	"respin/internal/variation"
+)
+
+func main() {
+	m := variation.Generate(1, 8, 8, config.CoreNTVdd, variation.DefaultParams())
+	fmt.Println("die map: core clock multiples of the 0.4ns cache clock")
+	fmt.Println("(4 = 1.6ns/625MHz fast core ... 6 = 2.4ns/417MHz slow core; ---- = cluster boundary)")
+	fmt.Println()
+	fmt.Print(m.DieMap(16))
+	fmt.Printf("\nraw fmax spread on this die: %.2fx; multiples: %v\n\n",
+		m.SpreadRatio(), m.MultipleCounts())
+	fmt.Print(experiments.VariationStudy().Render())
+}

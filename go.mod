@@ -1,0 +1,3 @@
+module respin
+
+go 1.22

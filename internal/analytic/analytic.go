@@ -1,0 +1,193 @@
+// Package analytic provides the closed-form near-threshold-computing
+// models behind the paper's introduction: how frequency, dynamic power
+// and leakage scale with supply voltage, the energy-per-operation
+// U-curve whose minimum sits just above threshold, and the first-order
+// cluster-sizing model that explains why the shared-L1 sweet spot falls
+// at 16 cores. The simulator (packages power/sim) measures these effects
+// cycle by cycle; this package predicts them in closed form, and the
+// test suite cross-checks the two against each other.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"respin/internal/config"
+	"respin/internal/power"
+)
+
+// OperatingPoint is a chip-wide steady-state prediction at one supply.
+type OperatingPoint struct {
+	// Vdd is the core supply voltage.
+	Vdd float64
+	// FrequencyGHz is the alpha-power-law core frequency.
+	FrequencyGHz float64
+	// DynPowerW, LeakPowerW and TotalPowerW are chip-level powers.
+	DynPowerW, LeakPowerW, TotalPowerW float64
+	// EnergyPerOpPJ is chip energy per committed instruction.
+	EnergyPerOpPJ float64
+}
+
+// Model holds the scaling parameters. The zero value is not useful; use
+// Default, which matches the calibration of package power.
+type Model struct {
+	// Vth is the transistor threshold voltage.
+	Vth float64
+	// Alpha is the alpha-power-law exponent.
+	Alpha float64
+	// NominalFreqGHz is the core frequency at 1.0 V.
+	NominalFreqGHz float64
+	// Power model constants, matching power.DefaultParams.
+	Params power.Params
+	// Cores is the chip core count.
+	Cores int
+	// IPC is the assumed per-core commit rate.
+	IPC float64
+	// FixedLeakW is voltage-independent leakage (the cache hierarchy on
+	// its own rail).
+	FixedLeakW float64
+}
+
+// Default returns the model aligned with the simulator's calibration for
+// the medium SRAM-cache NT chip.
+func Default() Model {
+	p := power.DefaultParams()
+	chip := power.NewChip(config.New(config.PRSRAMNT, config.Medium))
+	return Model{
+		Vth:            config.Vth,
+		Alpha:          1.3,
+		NominalFreqGHz: 2.5,
+		Params:         p,
+		Cores:          config.NumCores,
+		IPC:            p.StaticIPC,
+		FixedLeakW:     chip.CacheLeakW,
+	}
+}
+
+// FrequencyGHz returns the alpha-power-law frequency at a supply.
+func (m Model) FrequencyGHz(vdd float64) float64 {
+	if vdd <= m.Vth {
+		return 0
+	}
+	nomOver := math.Pow(1.0-m.Vth, m.Alpha)
+	return m.NominalFreqGHz * (math.Pow(vdd-m.Vth, m.Alpha) / vdd) / nomOver
+}
+
+// At evaluates the chip at one core supply.
+func (m Model) At(vdd float64) OperatingPoint {
+	f := m.FrequencyGHz(vdd)
+	instrPerSec := f * 1e9 * m.IPC * float64(m.Cores)
+	dyn := instrPerSec * m.Params.CoreEPIpJ(vdd) * 1e-12
+	leak := float64(m.Cores)*m.Params.CoreLeakWatts(vdd) + m.FixedLeakW
+	op := OperatingPoint{
+		Vdd: vdd, FrequencyGHz: f,
+		DynPowerW: dyn, LeakPowerW: leak, TotalPowerW: dyn + leak,
+	}
+	if instrPerSec > 0 {
+		op.EnergyPerOpPJ = (dyn + leak) / instrPerSec * 1e12
+	} else {
+		op.EnergyPerOpPJ = math.Inf(1)
+	}
+	return op
+}
+
+// Sweep evaluates the chip across a voltage range (inclusive bounds,
+// fixed step).
+func (m Model) Sweep(lo, hi, step float64) []OperatingPoint {
+	var out []OperatingPoint
+	for v := lo; v <= hi+1e-9; v += step {
+		out = append(out, m.At(v))
+	}
+	return out
+}
+
+// OptimalVdd returns the energy-per-operation-minimising supply within
+// [lo, hi] at 10 mV resolution — the classic NTC result that the
+// minimum sits a few hundred millivolts above threshold rather than at
+// it (leakage energy explodes as frequency collapses).
+func (m Model) OptimalVdd(lo, hi float64) float64 {
+	best, bestE := lo, math.Inf(1)
+	for v := lo; v <= hi+1e-9; v += 0.01 {
+		if e := m.At(v).EnergyPerOpPJ; e < bestE {
+			best, bestE = v, e
+		}
+	}
+	return math.Round(best*100) / 100
+}
+
+// PowerReduction returns the nominal-to-NT power ratio — the headline
+// "lowering Vdd to near-threshold cuts power by orders of magnitude".
+func (m Model) PowerReduction(ntVdd float64) float64 {
+	return m.At(1.0).TotalPowerW / m.At(ntVdd).TotalPowerW
+}
+
+// Slowdown returns the nominal-to-NT frequency ratio.
+func (m Model) Slowdown(ntVdd float64) float64 {
+	return m.FrequencyGHz(1.0) / m.FrequencyGHz(ntVdd)
+}
+
+// ClusterSizePrediction is the first-order shared-L1 sizing model.
+type ClusterSizePrediction struct {
+	Cores int
+	// PortUtilization is the expected shared-L1 read-port demand.
+	PortUtilization float64
+	// SharingBenefit is the relative coherence/capacity gain (grows
+	// with cluster size, saturating).
+	SharingBenefit float64
+	// AccessPenalty is the relative slowdown from the bigger, slower
+	// shared array and contention (grows superlinearly once the port
+	// saturates).
+	AccessPenalty float64
+	// NetBenefit is SharingBenefit - AccessPenalty.
+	NetBenefit float64
+}
+
+// ClusterModel predicts the net benefit of cluster sizes for the default
+// operating point: cores at ~500 MHz issuing readRate loads per
+// instruction against a 2.5 GHz cache with one read port whose latency
+// grows with capacity as C^(1/3).
+func ClusterModel(readRatePerInstr, ipc float64, sizes []int) []ClusterSizePrediction {
+	var out []ClusterSizePrediction
+	for _, n := range sizes {
+		// Demand per cache cycle: n cores * IPC/5 instr per cache
+		// cycle * loads per instruction.
+		util := float64(n) * ipc / 5 * readRatePerInstr
+		// Sharing benefit saturates: 1 - 1/sqrt(n) of the maximum.
+		benefit := 1 - 1/math.Sqrt(float64(n))
+		// Latency penalty: array grows linearly with n, latency as
+		// cube root; contention adds an M/D/1-like queueing term.
+		lat := math.Cbrt(float64(n)/16.0) - 1
+		queue := 0.0
+		if util < 1 {
+			queue = util * util / (2 * (1 - util)) * 0.1
+		} else {
+			queue = 10 // saturated
+		}
+		penalty := math.Max(lat, 0) + queue
+		out = append(out, ClusterSizePrediction{
+			Cores:           n,
+			PortUtilization: util,
+			SharingBenefit:  benefit,
+			AccessPenalty:   penalty,
+			NetBenefit:      benefit - penalty,
+		})
+	}
+	return out
+}
+
+// BestClusterSize returns the size with the highest net benefit.
+func BestClusterSize(preds []ClusterSizePrediction) int {
+	best, bestV := 0, math.Inf(-1)
+	for _, p := range preds {
+		if p.NetBenefit > bestV {
+			best, bestV = p.Cores, p.NetBenefit
+		}
+	}
+	return best
+}
+
+// String summarises an operating point.
+func (o OperatingPoint) String() string {
+	return fmt.Sprintf("%.2fV: %.2fGHz, %.1fW (dyn %.1f, leak %.1f), %.0f pJ/op",
+		o.Vdd, o.FrequencyGHz, o.TotalPowerW, o.DynPowerW, o.LeakPowerW, o.EnergyPerOpPJ)
+}

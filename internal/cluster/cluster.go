@@ -1,0 +1,431 @@
+// Package cluster assembles one cluster of the Respin CMP: a set of
+// physical near-threshold cores (with variation-assigned clock
+// multiples), the virtual cores (threads) they host, and either
+//
+//   - the proposed cluster-shared L1I/L1D behind the time-multiplexing
+//     controller of package sharedcache (no intra-cluster coherence), or
+//   - private per-core L1s kept coherent by the MESI directory of
+//     package coherence (the baseline designs),
+//
+// plus the cluster-shared L2. A Lower interface connects the cluster to
+// the chip-level L3/DRAM model owned by package sim.
+//
+// The cluster also implements the mechanics of dynamic core
+// consolidation (Section III): virtual-to-physical remapping, hardware
+// context switching between co-resident virtual cores, power gating, and
+// every migration overhead the paper enumerates (pipeline drain,
+// register transfer, cold-pipeline warmup, power-up voltage
+// stabilisation, and — for private caches — the loss of cache state).
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"respin/internal/stats"
+
+	"respin/internal/coherence"
+	"respin/internal/config"
+	"respin/internal/cpu"
+	"respin/internal/mem"
+	"respin/internal/power"
+	"respin/internal/sharedcache"
+	"respin/internal/trace"
+	"respin/internal/variation"
+)
+
+// Lower is the chip-level memory system below the cluster's L2.
+type Lower interface {
+	// L3Access performs an L3-and-below access starting at cache cycle
+	// `start`, returning the cycle at which the response is available.
+	// Write accesses are writebacks from the L2.
+	L3Access(start uint64, addr uint64, write bool) uint64
+}
+
+// Timing constants (cache cycles) for intra-cluster coherence traffic.
+const (
+	// c2cTransferCycles is a cache-to-cache forward over the cluster
+	// bus (8 ns round trip).
+	c2cTransferCycles = 20
+	// invalidationCycles is the additional latency per remote
+	// invalidation on the requester's critical path.
+	invalidationCycles = 4
+	// l2OccupancyCycles is the L2 port busy time per access.
+	l2OccupancyCycles = 2
+	// spinIntervalCoreCycles is how often a barrier-parked thread
+	// re-polls the barrier line (spin loops with a pause/backoff, as
+	// NT-friendly runtimes do).
+	spinIntervalCoreCycles = 12
+	// hwSwitchPenaltyCoreCycles is the pipeline refill cost of a
+	// hardware context switch between co-resident virtual cores. The
+	// virtual-core contexts are register-file resident (Section III.C's
+	// fine-grain hardware switching), so this is small.
+	hwSwitchPenaltyCoreCycles = 2
+	// osSwitchPenaltyPS is the software context-switch cost in the
+	// OS-driven consolidation comparator (~2 us).
+	osSwitchPenaltyPS = 2_000_000
+	// storeBufferDepth bounds outstanding store write-allocates per
+	// physical core in the private-L1 designs (the shared design's
+	// controller enforces the same depth).
+	storeBufferDepth = 4
+)
+
+// tag kinds encode what a serviced shared-cache request was.
+const (
+	tagLoad uint64 = iota
+	tagStore
+	tagIFetch
+	tagSpin
+	tagFill
+	tagKinds
+)
+
+type fillInfo struct {
+	addr   uint64
+	dirty  bool
+	icache bool
+}
+
+// event kinds for the deferred-completion heap.
+type eventKind int
+
+const (
+	evCompleteLoad eventKind = iota
+	evCompleteFetch
+	evSubmitFill
+	evReleaseBarrier
+	evResumeBarrier
+	evReleaseStore
+)
+
+type event struct {
+	cycle uint64
+	seq   uint64
+	kind  eventKind
+	vcore int
+	fill  fillInfo
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// edgeGroup lists the pcores sharing one clock multiple.
+type edgeGroup struct {
+	mult uint64
+	ids  []int
+}
+
+type pcore struct {
+	spec         variation.CoreSpec
+	active       bool
+	residents    []int
+	rrIndex      int
+	quantumInstr uint64
+	quantumCyc   uint64
+	stallUntil   uint64 // cache cycle
+	switchLeft   int    // core cycles of context-switch penalty
+}
+
+type vcoreState struct {
+	core        *cpu.Core
+	pcore       int
+	finished    bool
+	atBarrier   bool
+	spinLeft    int
+	loadPending bool
+	loadAddr    uint64
+	loadIssued  uint64
+	loadService uint64 // debug: when the controller serviced it
+	fetchAddr   uint64
+	pendingCold bool
+}
+
+// Stats aggregates cluster-level results.
+type Stats struct {
+	// LoadLatency distributes load completion latency in cache cycles
+	// (buckets up to 299, then overflow).
+	LoadLatency    *stats.Histogram
+	Instructions   uint64
+	CoherenceReads uint64
+	SpinAccesses   uint64
+	Migrations     uint64
+	HWSwitches     uint64
+	PowerUps       uint64
+	L2Accesses     uint64
+	L3Accesses     uint64
+}
+
+// Cluster is one cluster instance.
+type Cluster struct {
+	cfg  config.Config
+	chip *power.Chip
+	id   int
+	now  uint64
+
+	pcores []pcore
+	vcores []vcoreState
+	order  []int // pcore ids sorted by efficiency (fastest first)
+	// edges groups pcore ids by clock multiple so only cores whose
+	// clock edge falls on the current cache cycle are visited; sorted
+	// by multiple for deterministic stepping order.
+	edges []edgeGroup
+
+	// Shared-L1 machinery.
+	ctrlI, ctrlD *sharedcache.Controller
+	sharedL1I    *mem.Cache
+	sharedL1D    *mem.Cache
+	fills        map[uint64]fillInfo
+	fillSeq      uint64
+
+	// Private-L1 machinery.
+	privI []*mem.Cache
+	dir   *coherence.Directory
+	// privStoreMiss throttles outstanding private store write-allocates
+	// per physical core (store-buffer depth).
+	privStoreMiss []int
+
+	l2         *mem.Cache
+	l2NextFree uint64
+
+	lower Lower
+	rng   *rand.Rand
+
+	events   eventHeap
+	eventSeq uint64
+
+	// Post-step completions within the same cycle (private L1 hits).
+	sameCycle []int
+
+	Meter         power.Meter
+	lastLeakTick  uint64
+	activeCount   int
+	instrEpoch    uint64
+	edgesEpoch    uint64 // active-pcore clock edges this epoch
+	busyEpoch     uint64 // edges that retired at least one instruction
+	barrierCount  int    // vcores currently parked at a barrier
+	finishedCount int
+	quota         uint64 // per-vcore instruction quota
+	assignPtr     int    // round-robin pointer for orphan reassignment
+
+	Stats Stats
+}
+
+// Params configures cluster construction.
+type Params struct {
+	Config    config.Config
+	Chip      *power.Chip
+	ClusterID int
+	PCores    []variation.CoreSpec
+	Bench     trace.Profile
+	Seed      int64
+	// QuotaInstr is the per-thread instruction budget; the cluster is
+	// done when every virtual core has retired it.
+	QuotaInstr uint64
+	Lower      Lower
+}
+
+// New builds a cluster.
+func New(p Params) *Cluster {
+	n := p.Config.ClusterSize
+	if len(p.PCores) != n {
+		panic(fmt.Sprintf("cluster: %d core specs for cluster size %d", len(p.PCores), n))
+	}
+	if p.Lower == nil {
+		panic("cluster: nil lower-level memory")
+	}
+	if p.QuotaInstr == 0 {
+		panic("cluster: zero instruction quota")
+	}
+	cl := &Cluster{
+		cfg:    p.Config,
+		chip:   p.Chip,
+		id:     p.ClusterID,
+		lower:  p.Lower,
+		rng:    rand.New(rand.NewSource(p.Seed*31 + int64(p.ClusterID))),
+		quota:  p.QuotaInstr,
+		pcores: make([]pcore, n),
+		vcores: make([]vcoreState, n),
+		fills:  make(map[uint64]fillInfo),
+	}
+	cl.Stats.LoadLatency = stats.NewHistogram(300)
+	for i := range cl.pcores {
+		spec := p.PCores[i]
+		if p.Config.NominalCores {
+			spec = variation.CoreSpec{Vth: config.Vth, FmaxGHz: 2.5, Multiple: 1, PeriodPS: config.CachePeriodPS}
+		}
+		cl.pcores[i] = pcore{spec: spec, active: true, residents: []int{i}}
+		cl.resetQuantum(i)
+	}
+	cl.activeCount = n
+	cl.order = efficiencyOrder(cl.pcores)
+	for m := uint64(1); m <= config.MaxCoreMultiple; m++ {
+		var ids []int
+		for i := range cl.pcores {
+			if uint64(cl.pcores[i].spec.Multiple) == m {
+				ids = append(ids, i)
+			}
+		}
+		if len(ids) > 0 {
+			cl.edges = append(cl.edges, edgeGroup{mult: m, ids: ids})
+		}
+	}
+
+	for i := range cl.vcores {
+		gen := trace.NewGen(p.Bench, p.Seed, p.ClusterID*n+i, p.ClusterID)
+		cl.vcores[i] = vcoreState{pcore: i, spinLeft: spinIntervalCoreCycles}
+		cl.vcores[i].core = cpu.New(i, gen, (*memPort)(cl))
+	}
+
+	h := p.Config.Hierarchy
+	cl.l2 = mem.NewCache(h.L2)
+	if p.Config.L1 == config.SharedL1 {
+		cl.sharedL1I = mem.NewCache(h.L1I)
+		cl.sharedL1D = mem.NewCache(h.L1D)
+		cl.ctrlI = sharedcache.New(n, sharedcache.WithSeed(p.Seed*7+int64(p.ClusterID)))
+		cl.ctrlD = sharedcache.New(n, sharedcache.WithSeed(p.Seed*11+int64(p.ClusterID)))
+	} else {
+		cl.privI = make([]*mem.Cache, n)
+		for i := range cl.privI {
+			cl.privI[i] = mem.NewCache(h.L1I)
+		}
+		cl.dir = coherence.New(n, h.L1D)
+		cl.privStoreMiss = make([]int, n)
+	}
+	return cl
+}
+
+// efficiencyOrder sorts pcore ids fastest-first (lowest multiple), which
+// is the paper's energy-efficiency order: at equal voltage, faster cores
+// achieve lower energy per instruction because leakage is a fixed cost.
+func efficiencyOrder(pcores []pcore) []int {
+	order := make([]int, len(pcores))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by (multiple, id): tiny n, deterministic.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j], order[j-1]
+			if pcores[a].spec.Multiple < pcores[b].spec.Multiple {
+				order[j], order[j-1] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}
+
+// resetQuantum reloads pcore i's context-switch quantum.
+func (cl *Cluster) resetQuantum(i int) {
+	p := &cl.pcores[i]
+	if cl.cfg.Consolidation == config.OSConsolidation {
+		p.quantumCyc = uint64(cl.cfg.ConsolidationParams.OSIntervalPS / p.spec.PeriodPS)
+		p.quantumInstr = ^uint64(0)
+	} else {
+		p.quantumInstr = cl.cfg.ConsolidationParams.HWSwitchIntervalInstr
+		p.quantumCyc = ^uint64(0)
+	}
+}
+
+// Now returns the current cache cycle.
+func (cl *Cluster) Now() uint64 { return cl.now }
+
+// ID returns the cluster id.
+func (cl *Cluster) ID() int { return cl.id }
+
+// ActiveCores returns the number of powered physical cores.
+func (cl *Cluster) ActiveCores() int { return cl.activeCount }
+
+// Done reports whether every virtual core has retired its quota.
+func (cl *Cluster) Done() bool { return cl.finishedCount == len(cl.vcores) }
+
+// BarrierWaiters returns how many unfinished virtual cores are parked at
+// the global barrier.
+func (cl *Cluster) BarrierWaiters() int { return cl.barrierCount }
+
+// Unfinished returns the count of virtual cores still executing.
+func (cl *Cluster) Unfinished() int { return len(cl.vcores) - cl.finishedCount }
+
+// EpochInstructions returns (and the caller may reset) instructions
+// retired in the current consolidation epoch.
+func (cl *Cluster) EpochInstructions() uint64 { return cl.instrEpoch }
+
+// ResetEpoch clears the epoch instruction and utilisation counters.
+func (cl *Cluster) ResetEpoch() {
+	cl.instrEpoch = 0
+	cl.edgesEpoch = 0
+	cl.busyEpoch = 0
+}
+
+// EpochUtilization returns the fraction of active-core clock edges this
+// epoch that retired at least one instruction — the virtual core
+// monitor's busy signal.
+func (cl *Cluster) EpochUtilization() float64 {
+	if cl.edgesEpoch == 0 {
+		return 0
+	}
+	return float64(cl.busyEpoch) / float64(cl.edgesEpoch)
+}
+
+// ControllerD exposes the L1D controller (Figures 10 and 11); nil for
+// private-L1 configurations.
+func (cl *Cluster) ControllerD() *sharedcache.Controller { return cl.ctrlD }
+
+// Directory exposes the MESI directory; nil for shared configurations.
+func (cl *Cluster) Directory() *coherence.Directory { return cl.dir }
+
+// L2 exposes the cluster's L2 (for reports).
+func (cl *Cluster) L2() *mem.Cache { return cl.l2 }
+
+// L1D exposes the shared L1 data array; nil for private configurations.
+func (cl *Cluster) L1D() *mem.Cache { return cl.sharedL1D }
+
+// schedule pushes a deferred event.
+func (cl *Cluster) schedule(cycle uint64, e event) {
+	if cycle <= cl.now {
+		cycle = cl.now + 1
+	}
+	e.cycle = cycle
+	e.seq = cl.eventSeq
+	cl.eventSeq++
+	heap.Push(&cl.events, e)
+}
+
+// shiftEnergy charges one voltage-domain crossing.
+func (cl *Cluster) shiftEnergy() {
+	if cl.chip.ShifterPJ > 0 {
+		cl.Meter.AddPJ(power.Shifter, cl.chip.ShifterPJ)
+	}
+}
+
+// accrueLeakage integrates core leakage up to the current cycle. Cache
+// leakage is integrated at chip level by package sim.
+func (cl *Cluster) accrueLeakage() {
+	dt := cl.now - cl.lastLeakTick
+	if dt == 0 {
+		return
+	}
+	ps := int64(dt) * config.CachePeriodPS
+	active := float64(cl.activeCount) * cl.chip.CoreLeakW
+	gated := float64(len(cl.pcores)-cl.activeCount) * cl.chip.CoreGatedLeakW
+	cl.Meter.AddLeakage(power.CoreLeakage, active+gated, ps)
+	cl.lastLeakTick = cl.now
+}

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/power"
+	"respin/internal/trace"
+	"respin/internal/variation"
+)
+
+// fakeLower is a fixed-latency chip-level memory below the L2.
+type fakeLower struct {
+	latency uint64
+	reads   int
+	writes  int
+}
+
+func (f *fakeLower) L3Access(start uint64, addr uint64, write bool) uint64 {
+	if write {
+		f.writes++
+	} else {
+		f.reads++
+	}
+	return start + f.latency
+}
+
+func buildCluster(t *testing.T, kind config.ArchKind, bench string, quota uint64) (*Cluster, *fakeLower) {
+	t.Helper()
+	cfg := config.New(kind, config.Medium)
+	vm := variation.Generate(cfg.VariationSeed, 8, 8, config.CoreNTVdd, variation.DefaultParams())
+	lower := &fakeLower{latency: 100}
+	cl := New(Params{
+		Config:     cfg,
+		Chip:       power.NewChip(cfg),
+		ClusterID:  0,
+		PCores:     vm.ClusterCores(0, cfg.ClusterSize),
+		Bench:      trace.MustByName(bench),
+		Seed:       1,
+		QuotaInstr: quota,
+		Lower:      lower,
+	})
+	return cl, lower
+}
+
+// runToCompletion drives the cluster like the sim does, coordinating the
+// (cluster-local here) barrier. Returns cycles taken.
+func runToCompletion(t *testing.T, cl *Cluster, maxCycles uint64) uint64 {
+	t.Helper()
+	for cl.Now() < maxCycles {
+		if cl.Done() {
+			return cl.Now()
+		}
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+	}
+	t.Fatalf("cluster did not finish within %d cycles (done %d/%d, barrier %d)",
+		maxCycles, cl.finishedCount, len(cl.vcores), cl.BarrierWaiters())
+	return 0
+}
+
+func TestSharedClusterCompletes(t *testing.T) {
+	cl, lower := buildCluster(t, config.SHSTT, "fft", 20_000)
+	cycles := runToCompletion(t, cl, 5_000_000)
+	if cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+	if cl.Stats.Instructions < 16*20_000 {
+		t.Errorf("instructions = %d, want >= %d", cl.Stats.Instructions, 16*20_000)
+	}
+	if lower.reads == 0 {
+		t.Error("no L3 traffic")
+	}
+	m, _ := cl.EpochSnapshot()
+	if m.TotalPJ() <= 0 || m.PJ(power.CoreDynamic) <= 0 || m.PJ(power.CacheDynamic) <= 0 {
+		t.Error("energy meters not populated")
+	}
+	if m.PJ(power.Shifter) <= 0 {
+		t.Error("no level-shifter energy on dual-rail config")
+	}
+	// Figure 10/11 sources populated.
+	if cl.ControllerD().Stats.Reads.Value() == 0 {
+		t.Error("no L1D reads through the controller")
+	}
+	if cl.ControllerD().Stats.ReadCoreCycles.Total() == 0 {
+		t.Error("no read-latency observations")
+	}
+}
+
+func TestPrivateClusterCompletes(t *testing.T) {
+	cl, _ := buildCluster(t, config.PRSRAMNT, "fft", 20_000)
+	runToCompletion(t, cl, 5_000_000)
+	if cl.Directory().Stats.Invalidations.Value() == 0 {
+		t.Error("MESI protocol generated no invalidations")
+	}
+	if cl.Directory().Stats.CacheToCache.Value() == 0 {
+		t.Error("no cache-to-cache transfers")
+	}
+}
+
+func TestSharedBeatsPrivateOnSharingWorkload(t *testing.T) {
+	// raytrace: heavy read sharing — the shared design's best case.
+	shared, _ := buildCluster(t, config.SHSTT, "raytrace", 15_000)
+	private, _ := buildCluster(t, config.PRSRAMNT, "raytrace", 15_000)
+	sc := runToCompletion(t, shared, 10_000_000)
+	pc := runToCompletion(t, private, 10_000_000)
+	t.Logf("raytrace cycles: shared %d vs private %d (ratio %.2f)", sc, pc, float64(sc)/float64(pc))
+	if sc >= pc {
+		t.Errorf("shared design (%d cycles) not faster than private (%d)", sc, pc)
+	}
+}
+
+func TestBarrierRendezvous(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTT, "ocean", 10_000)
+	releases := 0
+	for cl.Now() < 5_000_000 && !cl.Done() {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+			releases++
+		}
+		cl.Tick()
+	}
+	if !cl.Done() {
+		t.Fatal("ocean never finished")
+	}
+	if releases == 0 {
+		t.Error("no barrier rendezvous observed for ocean")
+	}
+	if cl.Stats.SpinAccesses == 0 {
+		t.Error("no spin traffic")
+	}
+}
+
+func TestSetActiveCoresConsolidatesAndCompletes(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTTCC, "radix", 15_000)
+	// Drive with a crude policy: consolidate to 8 cores early on.
+	consolidated := false
+	for cl.Now() < 10_000_000 && !cl.Done() {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		if !consolidated && cl.Now() == 50_000 {
+			cl.SetActiveCores(8)
+			consolidated = true
+			cl.validate()
+		}
+		cl.Tick()
+	}
+	if !cl.Done() {
+		t.Fatal("consolidated cluster never finished")
+	}
+	if cl.ActiveCores() != 8 {
+		t.Errorf("active cores = %d, want 8", cl.ActiveCores())
+	}
+	if cl.Stats.Migrations == 0 {
+		t.Error("no migrations recorded")
+	}
+	if cl.Stats.HWSwitches == 0 {
+		t.Error("no hardware context switches with 2 vcores per pcore")
+	}
+	// The active set must be the fastest cores.
+	order := cl.EfficiencyOrder()
+	for i, id := range order {
+		if got := cl.PCoreActive(id); got != (i < 8) {
+			t.Errorf("order[%d] (pcore %d) active = %v, want %v", i, id, got, i < 8)
+		}
+	}
+	// All vcores hosted on active cores.
+	for v := 0; v < 16; v++ {
+		if !cl.PCoreActive(cl.VCoreHost(v)) {
+			t.Errorf("vcore %d hosted on gated pcore %d", v, cl.VCoreHost(v))
+		}
+	}
+}
+
+func TestSetActiveCoresPowerUpAndRestore(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTTCC, "fft", 30_000)
+	for cl.Now() < 20_000 {
+		cl.Tick()
+	}
+	cl.SetActiveCores(4)
+	cl.validate()
+	if cl.ActiveCores() != 4 {
+		t.Fatalf("active = %d, want 4", cl.ActiveCores())
+	}
+	migrations := cl.Stats.Migrations
+	for cl.Now() < 40_000 {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+	}
+	cl.SetActiveCores(16)
+	cl.validate()
+	if cl.ActiveCores() != 16 {
+		t.Fatalf("active = %d, want 16", cl.ActiveCores())
+	}
+	if cl.Stats.PowerUps == 0 {
+		t.Error("no power-up events recorded")
+	}
+	if cl.Stats.Migrations <= migrations {
+		t.Error("no migrations on power-up rebalance")
+	}
+	// Min-active clamp.
+	cl.SetActiveCores(0)
+	if cl.ActiveCores() < cl.cfg.ConsolidationParams.MinActiveCores {
+		t.Error("min active cores violated")
+	}
+	cl.SetActiveCores(99)
+	if cl.ActiveCores() != 16 {
+		t.Error("over-size active count not clamped")
+	}
+}
+
+func TestPRSTTCCFlushesCachesOnGating(t *testing.T) {
+	cl, _ := buildCluster(t, config.PRSTTCC, "fft", 30_000)
+	for cl.Now() < 50_000 {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+	}
+	// Pick a core that will be gated: the least efficient.
+	victim := cl.EfficiencyOrder()[15]
+	occBefore := cl.Directory().Cache(victim).Occupancy()
+	if occBefore == 0 {
+		t.Skip("victim cache empty; nothing to verify")
+	}
+	cl.SetActiveCores(15)
+	if got := cl.Directory().Cache(victim).Occupancy(); got != 0 {
+		t.Errorf("gated core's L1D still holds %d lines", got)
+	}
+	if got := cl.privI[victim].Occupancy(); got != 0 {
+		t.Errorf("gated core's L1I still holds %d lines", got)
+	}
+}
+
+func TestEpochAccounting(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTT, "fft", 50_000)
+	for cl.Now() < 100_000 {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+	}
+	if cl.EpochInstructions() == 0 {
+		t.Fatal("epoch instruction counter empty")
+	}
+	cl.ResetEpoch()
+	if cl.EpochInstructions() != 0 {
+		t.Fatal("epoch counter not reset")
+	}
+	m1, c1 := cl.EpochSnapshot()
+	for cl.Now() < 150_000 {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+	}
+	m2, c2 := cl.EpochSnapshot()
+	if c2 <= c1 {
+		t.Fatal("time did not advance")
+	}
+	d := m2.Sub(&m1)
+	if d.TotalPJ() <= 0 {
+		t.Error("no energy accumulated across epoch")
+	}
+	if d.PJ(power.CoreLeakage) <= 0 {
+		t.Error("no core leakage integrated")
+	}
+}
+
+func TestGatedCoresLeakLess(t *testing.T) {
+	full, _ := buildCluster(t, config.SHSTTCC, "swaptions", 60_000)
+	half, _ := buildCluster(t, config.SHSTTCC, "swaptions", 60_000)
+	half.SetActiveCores(8)
+	for i := 0; i < 200_000; i++ {
+		full.Tick()
+		half.Tick()
+	}
+	mf, _ := full.EpochSnapshot()
+	mh, _ := half.EpochSnapshot()
+	if mh.PJ(power.CoreLeakage) >= mf.PJ(power.CoreLeakage) {
+		t.Errorf("8-core leakage %.0f not below 16-core %.0f",
+			mh.PJ(power.CoreLeakage), mf.PJ(power.CoreLeakage))
+	}
+}
+
+func TestHPClusterRunsAtCacheClock(t *testing.T) {
+	cl, _ := buildCluster(t, config.HPSRAMCMP, "fft", 20_000)
+	for i := range cl.pcores {
+		if cl.PCoreMultiple(i) != 1 {
+			t.Fatalf("HP pcore %d multiple = %d, want 1", i, cl.PCoreMultiple(i))
+		}
+	}
+	hp := runToCompletion(t, cl, 3_000_000)
+	nt, _ := buildCluster(t, config.PRSRAMNT, "fft", 20_000)
+	ntc := runToCompletion(t, nt, 10_000_000)
+	t.Logf("fft cycles: HP %d vs NT %d (speedup %.1fx)", hp, ntc, float64(ntc)/float64(hp))
+	if float64(ntc)/float64(hp) < 2.0 {
+		t.Errorf("HP speedup %.1fx over NT too small", float64(ntc)/float64(hp))
+	}
+}
+
+func TestConstructionPanics(t *testing.T) {
+	cfg := config.New(config.SHSTT, config.Medium)
+	vm := variation.Generate(1, 8, 8, config.CoreNTVdd, variation.DefaultParams())
+	chip := power.NewChip(cfg)
+	base := Params{
+		Config: cfg, Chip: chip, PCores: vm.ClusterCores(0, 16),
+		Bench: trace.MustByName("fft"), Seed: 1, QuotaInstr: 1000,
+		Lower: &fakeLower{latency: 10},
+	}
+	mustPanic := func(name string, p Params) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		New(p)
+	}
+	bad := base
+	bad.PCores = vm.ClusterCores(0, 8)
+	mustPanic("wrong pcore count", bad)
+	bad = base
+	bad.Lower = nil
+	mustPanic("nil lower", bad)
+	bad = base
+	bad.QuotaInstr = 0
+	mustPanic("zero quota", bad)
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/cpu"
+)
+
+// TestDualContextKeepsThroughput: in a memory-bound workload, halving the
+// active cores must cost far less than half the throughput, because the
+// two hot contexts fill each other's stalls (the consolidation slack the
+// paper exploits).
+func TestDualContextKeepsThroughput(t *testing.T) {
+	run := func(active int) uint64 {
+		cl, _ := buildCluster(t, config.SHSTTCC, "streamcluster", 1_000_000)
+		cl.SetActiveCores(active)
+		for cl.Now() < 400_000 {
+			if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+				cl.ScheduleBarrierRelease(cl.Now() + 1)
+			}
+			cl.Tick()
+		}
+		return cl.Stats.Instructions
+	}
+	full := run(16)
+	half := run(8)
+	ratio := float64(half) / float64(full)
+	t.Logf("streamcluster throughput at 8/16 cores: %.2f of full", ratio)
+	if ratio < 0.55 {
+		t.Errorf("8-core throughput ratio = %.2f, want > 0.55 (stall-filling)", ratio)
+	}
+	if ratio > 1.01 {
+		t.Errorf("8-core throughput ratio = %.2f exceeds full - accounting bug", ratio)
+	}
+}
+
+// TestComputeBoundPaysForConsolidation: a compute-bound workload must
+// lose roughly half its throughput when co-scheduled two-per-core — the
+// reason the greedy search backs out of consolidation in high-IPC
+// phases.
+func TestComputeBoundPaysForConsolidation(t *testing.T) {
+	run := func(active int) uint64 {
+		cl, _ := buildCluster(t, config.SHSTTCC, "swaptions", 1_000_000)
+		cl.SetActiveCores(active)
+		for cl.Now() < 300_000 {
+			cl.Tick()
+		}
+		return cl.Stats.Instructions
+	}
+	full := run(16)
+	half := run(8)
+	ratio := float64(half) / float64(full)
+	t.Logf("swaptions throughput at 8/16 cores: %.2f of full", ratio)
+	if ratio > 0.85 {
+		t.Errorf("compute-bound consolidation ratio = %.2f, want <= 0.85", ratio)
+	}
+}
+
+// TestOSModeQuantumSwitching: the OS comparator rotates contexts on its
+// coarse timer with a software switch cost, and never interleaves.
+func TestOSModeQuantumSwitching(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTTCCOS, "fft", 1_000_000)
+	cl.SetActiveCores(8)
+	// The scaled OS interval is 0.125 ms = 312,500 cache cycles; run
+	// past several quanta.
+	for cl.Now() < 1_000_000 {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+	}
+	if cl.Stats.HWSwitches == 0 {
+		t.Error("OS mode never context-switched across quanta")
+	}
+}
+
+// TestFinishedVCoreFreesSlot: once a virtual core retires its quota, its
+// co-residents get the whole physical core.
+func TestFinishedVCoreFreesSlot(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTT, "swaptions", 5_000)
+	for cl.Now() < 3_000_000 && !cl.Done() {
+		cl.Tick()
+	}
+	if !cl.Done() {
+		t.Fatal("cluster never finished")
+	}
+	census := cl.StateCensus()
+	if census["finished"] != 16 {
+		t.Errorf("census = %v, want all finished", census)
+	}
+}
+
+// TestSpinTrafficOnlyWhileParked: spin accesses occur only when threads
+// wait at barriers.
+func TestSpinTrafficOnlyWhileParked(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTT, "swaptions", 20_000) // no barriers
+	for cl.Now() < 1_000_000 && !cl.Done() {
+		cl.Tick()
+	}
+	if cl.Stats.SpinAccesses != 0 {
+		t.Errorf("spin accesses = %d for a barrier-free workload", cl.Stats.SpinAccesses)
+	}
+}
+
+// TestMigrationCostsVisible: reconfiguring stalls targets and cold-
+// restarts movers.
+func TestMigrationCostsVisible(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTTCC, "fft", 500_000)
+	for cl.Now() < 5_000 {
+		cl.Tick()
+	}
+	instrBefore := cl.Stats.Instructions
+	cl.SetActiveCores(8)
+	stalled, _, inactive := cl.PCoreStallCensus()
+	if inactive != 8 {
+		t.Errorf("inactive = %d, want 8", inactive)
+	}
+	if stalled == 0 {
+		t.Error("no pcores stalled by migration costs")
+	}
+	for cl.Now() < 10_000 {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+	}
+	if cl.Stats.Instructions <= instrBefore {
+		t.Error("no progress after consolidation")
+	}
+	cl.validate()
+}
+
+// TestBlockedContextStillRetries: a WaitIFetch context whose fetch was
+// rejected keeps retrying even while a co-resident runs.
+func TestBlockedContextStillRetries(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTTCC, "fft", 300_000)
+	cl.SetActiveCores(4)
+	deadline := uint64(2_000_000)
+	for cl.Now() < deadline && !cl.Done() {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+		// All four active pcores host four vcores each; every vcore
+		// must keep making progress (no starvation).
+		if cl.Now() == 1_000_000 {
+			for v := range cl.vcores {
+				if cl.vcores[v].core.Retired() == 0 {
+					t.Fatalf("vcore %d starved (state %v)", v, cl.vcores[v].core.State())
+				}
+			}
+		}
+	}
+}
+
+// TestStallCensusStates exercises the debug census helpers.
+func TestStallCensusStates(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTT, "fft", 100_000)
+	for cl.Now() < 50_000 {
+		cl.Tick()
+	}
+	census := cl.StateCensus()
+	total := 0
+	for _, n := range census {
+		total += n
+	}
+	if total != 16 {
+		t.Errorf("census covers %d vcores, want 16: %v", total, census)
+	}
+	if census[cpu.Running.String()]+census[cpu.WaitLoad.String()] == 0 {
+		t.Errorf("implausible census: %v", census)
+	}
+}
+
+// TestPreferSlowCoresAblation: inverting the efficiency order must gate
+// the fastest cores.
+func TestPreferSlowCoresAblation(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTTCC, "fft", 200_000)
+	cl.cfg.ConsolidationParams.PreferSlowCores = true
+	cl.SetActiveCores(8)
+	order := cl.EfficiencyOrder()
+	// The 8 FASTEST cores (order[:8]) must now be gated.
+	for i, id := range order {
+		wantActive := i >= 8
+		if cl.PCoreActive(id) != wantActive {
+			t.Errorf("order[%d] (pcore %d) active=%v, want %v", i, id, cl.PCoreActive(id), wantActive)
+		}
+	}
+	cl.validate()
+}
+
+// TestMappingTable: the VCM's OS-visible map stays valid across
+// consolidation.
+func TestMappingTable(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTTCC, "fft", 300_000)
+	if err := cl.MappingTable().Validate(16); err != nil {
+		t.Fatalf("initial map invalid: %v", err)
+	}
+	cl.SetActiveCores(6)
+	tb := cl.MappingTable()
+	if err := tb.Validate(16); err != nil {
+		t.Fatalf("post-consolidation map invalid: %v", err)
+	}
+	if got := tb.ActivePhysical(); got != 6 {
+		t.Errorf("active physical hosts = %d, want 6", got)
+	}
+	if s := tb.Render(); len(s) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"respin/internal/config"
+	"respin/internal/power"
+	"respin/internal/sharedcache"
+)
+
+// memPort adapts *Cluster to the cpu.MemSystem interface. Virtual-core
+// requests are routed through the hosting physical core's request slot
+// (shared design) or private caches (baseline designs).
+type memPort Cluster
+
+// makeTag packs (kind, vcore, address) into a controller tag.
+func makeTag(kind uint64, vcore int, addr uint64) uint64 {
+	return kind | uint64(vcore)<<3 | addr<<9
+}
+
+func tagKind(tag uint64) uint64 { return tag & 7 }
+func tagVCore(tag uint64) int   { return int(tag>>3) & 63 }
+func tagAddr(tag uint64) uint64 { return tag >> 9 }
+
+// IssueLoad implements cpu.MemSystem.
+func (mp *memPort) IssueLoad(v int, addr uint64) bool {
+	cl := (*Cluster)(mp)
+	vs := &cl.vcores[v]
+	p := vs.pcore
+	if cl.cfg.L1 == config.SharedL1 {
+		// Request registers are per hardware context (virtual core):
+		// each of a physical core's hot contexts owns one, so a
+		// blocked context's outstanding load does not stop its
+		// co-resident from issuing. The deadline window is the hosting
+		// physical core's clock multiple.
+		if !cl.ctrlD.CanSubmitRead(v) {
+			return false
+		}
+		cl.ctrlD.Submit(sharedcache.Request{
+			Core:     v,
+			Multiple: cl.pcores[p].spec.Multiple,
+			Tag:      makeTag(tagLoad, v, addr),
+		})
+		cl.shiftEnergy()
+		vs.loadPending = true
+		vs.loadAddr = addr
+		vs.loadIssued = cl.now
+		return true
+	}
+	// Private path: the MESI directory resolves state and traffic now;
+	// timing is scheduled as completion events.
+	out := cl.dir.Read(p, addr)
+	cl.chargeL1D(false)
+	cl.Stats.CoherenceReads++
+	if out.L1Hit {
+		// Single-core-cycle private hit: complete within this cycle.
+		vs.loadIssued = cl.now
+		cl.sameCycle = append(cl.sameCycle, v)
+		return true
+	}
+	ready := cl.privateMissReady(addr, out.SourcedFromCore >= 0, out.Invalidations, out.NeedsL2)
+	cl.chargeCoherence(out.Invalidations, out.WritebacksToL2, out.SourcedFromCore >= 0)
+	cl.schedule(ready, event{kind: evCompleteLoad, vcore: v})
+	vs.loadPending = true
+	vs.loadAddr = addr
+	vs.loadIssued = cl.now
+	return true
+}
+
+// IssueStore implements cpu.MemSystem.
+func (mp *memPort) IssueStore(v int, addr uint64) bool {
+	cl := (*Cluster)(mp)
+	p := cl.vcores[v].pcore
+	if cl.cfg.L1 == config.SharedL1 {
+		if !cl.ctrlD.CanSubmitWrite(v) {
+			return false
+		}
+		cl.ctrlD.Submit(sharedcache.Request{
+			Core:     v,
+			Write:    true,
+			Multiple: cl.pcores[p].spec.Multiple,
+			Tag:      makeTag(tagStore, v, addr),
+		})
+		cl.shiftEnergy()
+		return true
+	}
+	// Private store misses are throttled by the store-buffer depth:
+	// each outstanding write-allocate holds a slot.
+	if cl.privStoreMiss[p] >= storeBufferDepth && !cl.dir.WouldHit(p, addr) {
+		return false
+	}
+	out := cl.dir.Write(p, addr)
+	cl.chargeL1D(true)
+	if !out.L1Hit {
+		ready := cl.privateMissReady(addr, out.SourcedFromCore >= 0, out.Invalidations, out.NeedsL2)
+		cl.privStoreMiss[p]++
+		cl.schedule(ready, event{kind: evReleaseStore, vcore: p})
+	}
+	cl.chargeCoherence(out.Invalidations, out.WritebacksToL2, out.DirtyForward)
+	return true
+}
+
+// IssueIFetch implements cpu.MemSystem.
+func (mp *memPort) IssueIFetch(v int, addr uint64) bool {
+	cl := (*Cluster)(mp)
+	vs := &cl.vcores[v]
+	p := vs.pcore
+	if cl.cfg.L1 == config.SharedL1 {
+		if !cl.ctrlI.CanSubmitRead(v) {
+			return false
+		}
+		cl.ctrlI.Submit(sharedcache.Request{
+			Core:     v,
+			Multiple: cl.pcores[p].spec.Multiple,
+			Tag:      makeTag(tagIFetch, v, addr),
+		})
+		cl.shiftEnergy()
+		vs.fetchAddr = addr
+		return true
+	}
+	// Private i-cache: read-only, no coherence.
+	res := cl.privI[p].Access(addr, false)
+	cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L1IRead)
+	cl.shiftEnergy()
+	if res.Hit {
+		cl.schedule(cl.now+1, event{kind: evCompleteFetch, vcore: v})
+		return true
+	}
+	ready := cl.l2Access(cl.now, addr, false)
+	cl.privI[p].Fill(addr, false)
+	cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L1IWrite)
+	cl.schedule(ready, event{kind: evCompleteFetch, vcore: v})
+	return true
+}
+
+// privateMissReady computes when a private-L1 miss's data arrives and
+// performs the L2-side bookkeeping. sourced indicates a cache-to-cache
+// forward within the cluster.
+func (cl *Cluster) privateMissReady(addr uint64, sourced bool, invalidations int, needsL2 bool) uint64 {
+	penalty := uint64(invalidations) * invalidationCycles
+	if sourced {
+		return cl.now + c2cTransferCycles + penalty
+	}
+	if needsL2 {
+		return cl.l2Access(cl.now, addr, false) + penalty
+	}
+	// Clean copy was forwarded by a sharer.
+	return cl.now + c2cTransferCycles + penalty
+}
+
+// chargeL1D accounts one private L1D access (array + level shifting).
+func (cl *Cluster) chargeL1D(write bool) {
+	e := cl.chip.Energies.L1DRead
+	if write {
+		e = cl.chip.Energies.L1DWrite
+	}
+	cl.Meter.AddPJ(power.CacheDynamic, e)
+	cl.shiftEnergy()
+}
+
+// chargeCoherence accounts protocol traffic energy: each invalidation
+// and forward touches a remote L1, and writebacks push lines to L2.
+func (cl *Cluster) chargeCoherence(invalidations, writebacks int, forwarded bool) {
+	e := &cl.chip.Energies
+	cl.Meter.AddPJ(power.CacheDynamic, float64(invalidations)*e.L1DWrite)
+	if forwarded {
+		cl.Meter.AddPJ(power.CacheDynamic, e.L1DRead+e.L1DWrite)
+	}
+	for i := 0; i < writebacks; i++ {
+		cl.l2Writeback(0)
+	}
+}
+
+// l2Access performs an L2 lookup starting no earlier than `start`,
+// modelling port occupancy, and returns the cycle at which data is
+// available (possibly after an L3/DRAM round trip).
+func (cl *Cluster) l2Access(start uint64, addr uint64, write bool) uint64 {
+	if start < cl.l2NextFree {
+		start = cl.l2NextFree
+	}
+	cl.l2NextFree = start + l2OccupancyCycles
+	cl.Stats.L2Accesses++
+	e := &cl.chip.Energies
+	lat := cl.chip.Latencies.L2Read
+	if write {
+		cl.Meter.AddPJ(power.CacheDynamic, e.L2Write)
+		lat = cl.chip.Latencies.L2Write
+	} else {
+		cl.Meter.AddPJ(power.CacheDynamic, e.L2Read)
+	}
+	res := cl.l2.Access(addr, write)
+	if res.Hit {
+		return start + uint64(lat)
+	}
+	// L2 miss: go below, then fill the L2.
+	cl.Stats.L3Accesses++
+	ready := cl.lower.L3Access(start+uint64(lat), addr, false)
+	fill := cl.l2.Fill(addr, write)
+	cl.Meter.AddPJ(power.CacheDynamic, e.L2Write)
+	if fill.Writeback {
+		// The victim writeback occupies the L3 port around the time the
+		// miss is processed; reserving it at the far-future fill time
+		// would spuriously serialise later demand misses behind it (the
+		// port timeline assumes near-monotonic reservation starts).
+		cl.lower.L3Access(start+uint64(lat), fill.EvictedAddr, true)
+	}
+	return ready
+}
+
+// l2Writeback pushes a dirty L1 line to the L2 (occupancy + energy; not
+// on any core's critical path).
+func (cl *Cluster) l2Writeback(addr uint64) {
+	start := cl.now
+	if start < cl.l2NextFree {
+		start = cl.l2NextFree
+	}
+	cl.l2NextFree = start + l2OccupancyCycles
+	cl.Stats.L2Accesses++
+	cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L2Write)
+	res := cl.l2.Access(addr, true)
+	if !res.Hit {
+		fill := cl.l2.Fill(addr, true)
+		if fill.Writeback {
+			cl.lower.L3Access(start, fill.EvictedAddr, true)
+		}
+	}
+}

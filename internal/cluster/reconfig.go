@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"respin/internal/config"
+	"respin/internal/power"
+	"respin/internal/vcm"
+)
+
+// SetActiveCores reconfigures the cluster to run with n powered physical
+// cores, migrating virtual cores as needed. The active set is always the
+// n most efficient (fastest) cores, and virtual cores are distributed
+// round-robin over them in efficiency order — the paper's remapper
+// policy, which biases load toward fast cores. All migration overheads
+// are charged here:
+//
+//   - the target core stalls for the pipeline-drain + register-transfer
+//     and architectural-warmup costs per received thread;
+//   - migrated threads restart with a cold pipeline (ColdRestart);
+//   - a newly powered core stalls for voltage stabilisation;
+//   - with private L1s (PR-STT-CC), a gated core's caches are flushed,
+//     so its threads lose all cache locality.
+func (cl *Cluster) SetActiveCores(n int) {
+	min := cl.cfg.ConsolidationParams.MinActiveCores
+	if n < min {
+		n = min
+	}
+	if n > len(cl.pcores) {
+		n = len(cl.pcores)
+	}
+	if n == cl.activeCount {
+		return
+	}
+	cl.accrueLeakage()
+
+	pp := cl.cfg.ConsolidationParams
+	order := cl.order
+	if pp.PreferSlowCores {
+		order = make([]int, len(cl.order))
+		for i, id := range cl.order {
+			order[len(cl.order)-1-i] = id
+		}
+	}
+	wantActive := make([]bool, len(cl.pcores))
+	for _, id := range order[:n] {
+		wantActive[id] = true
+	}
+
+	// Power transitions.
+	for i := range cl.pcores {
+		p := &cl.pcores[i]
+		switch {
+		case p.active && !wantActive[i]:
+			p.active = false
+			if cl.cfg.L1 == config.PrivateL1 {
+				// The gated core's private caches are lost.
+				_, wbs := cl.dir.FlushCore(i)
+				for k := 0; k < wbs; k++ {
+					cl.l2Writeback(0)
+				}
+				cl.privI[i].Clear()
+			}
+		case !p.active && wantActive[i]:
+			p.active = true
+			p.stallUntil = cl.now + uint64(pp.PowerUpStallPS/config.CachePeriodPS)
+			cl.Stats.PowerUps++
+		}
+	}
+	cl.activeCount = n
+
+	// Only displaced virtual cores move (Section III.C): threads on a
+	// deconfigured core are reassigned round-robin over the active
+	// cores starting with the most efficient; a newly powered core
+	// pulls threads from the most-loaded hosts until load is balanced.
+	active := make([]int, 0, n)
+	for _, id := range order {
+		if cl.pcores[id].active {
+			active = append(active, id)
+		}
+	}
+
+	// Orphans: residents of now-inactive cores.
+	var orphans []int
+	for i := range cl.pcores {
+		if cl.pcores[i].active {
+			continue
+		}
+		orphans = append(orphans, cl.pcores[i].residents...)
+		cl.pcores[i].residents = nil
+		cl.pcores[i].rrIndex = 0
+	}
+	for k, v := range orphans {
+		target := active[(cl.assignPtr+k)%len(active)]
+		cl.pcores[target].residents = append(cl.pcores[target].residents, v)
+		cl.migrate(v, target)
+	}
+	cl.assignPtr = (cl.assignPtr + len(orphans)) % maxInt(len(active), 1)
+
+	// Rebalance toward newly powered (empty) cores.
+	targetLoad := (len(cl.vcores) + n - 1) / n
+	for _, id := range active {
+		for len(cl.pcores[id].residents) < targetLoad {
+			src := cl.mostLoaded(id)
+			if src < 0 || len(cl.pcores[src].residents) <= len(cl.pcores[id].residents)+1 {
+				break
+			}
+			sp := &cl.pcores[src].residents
+			v := (*sp)[len(*sp)-1]
+			*sp = (*sp)[:len(*sp)-1]
+			if cl.pcores[src].rrIndex >= len(*sp) {
+				cl.pcores[src].rrIndex = 0
+			}
+			cl.pcores[id].residents = append(cl.pcores[id].residents, v)
+			cl.migrate(v, id)
+		}
+	}
+
+	for i := range cl.pcores {
+		if cl.pcores[i].rrIndex >= len(cl.pcores[i].residents) {
+			cl.pcores[i].rrIndex = 0
+		}
+		cl.resetQuantum(i)
+	}
+}
+
+// mostLoaded returns the active pcore with the most residents, excluding
+// `except`, or -1.
+func (cl *Cluster) mostLoaded(except int) int {
+	best, bestN := -1, 0
+	for i := range cl.pcores {
+		if i == except || !cl.pcores[i].active {
+			continue
+		}
+		if n := len(cl.pcores[i].residents); n > bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// migrate moves virtual core v to physical core target, charging the
+// migration costs to the target.
+func (cl *Cluster) migrate(v, target int) {
+	pp := cl.cfg.ConsolidationParams
+	vs := &cl.vcores[v]
+	vs.pcore = target
+	vs.pendingCold = true
+	cl.maybeColdRestart(v)
+	cl.Stats.Migrations++
+	// Register transfer + warmup, in the target's cycles, serialised
+	// after any earlier stall on the same target.
+	costCycles := uint64(pp.MigrationDrainCycles+pp.WarmupCycles) * uint64(cl.pcores[target].spec.Multiple)
+	base := cl.now
+	if cl.pcores[target].stallUntil > base {
+		base = cl.pcores[target].stallUntil
+	}
+	cl.pcores[target].stallUntil = base + costCycles
+}
+
+// EpochStats summarises one consolidation epoch for the policy engine.
+type EpochStats struct {
+	// Instructions retired cluster-wide during the epoch.
+	Instructions uint64
+	// EnergyPJ is the cluster-attributed energy for the epoch: the
+	// cluster's own meter plus its share of chip-level cache leakage.
+	EnergyPJ float64
+	// TimePS is the epoch duration.
+	TimePS int64
+	// ActiveCores at the end of the epoch.
+	ActiveCores int
+}
+
+// EPI returns the epoch's energy per instruction (pJ), or +Inf when no
+// instructions retired.
+func (s EpochStats) EPI() float64 {
+	if s.Instructions == 0 {
+		return math.Inf(1)
+	}
+	return s.EnergyPJ / float64(s.Instructions)
+}
+
+// snapshotMeter returns the current accumulated meter including pending
+// leakage (the cluster's cache-leakage share is added by the caller).
+func (cl *Cluster) snapshotMeter() power.Meter {
+	cl.accrueLeakage()
+	return cl.Meter
+}
+
+// EpochSnapshot finalises leakage accounting and returns the meter plus
+// the cycle count; package sim turns consecutive snapshots into
+// EpochStats.
+func (cl *Cluster) EpochSnapshot() (power.Meter, uint64) {
+	return cl.snapshotMeter(), cl.now
+}
+
+// VCoreHost returns the physical core currently hosting virtual core v
+// (for tests and traces).
+func (cl *Cluster) VCoreHost(v int) int { return cl.vcores[v].pcore }
+
+// PCoreActive reports whether physical core i is powered.
+func (cl *Cluster) PCoreActive(i int) bool { return cl.pcores[i].active }
+
+// PCoreMultiple returns physical core i's clock multiple.
+func (cl *Cluster) PCoreMultiple(i int) int { return cl.pcores[i].spec.Multiple }
+
+// EfficiencyOrder returns pcore ids fastest-first.
+func (cl *Cluster) EfficiencyOrder() []int { return cl.order }
+
+// validate panics if internal invariants are broken (used by tests).
+func (cl *Cluster) validate() {
+	seen := make(map[int]bool)
+	for i := range cl.pcores {
+		for _, v := range cl.pcores[i].residents {
+			if seen[v] {
+				panic(fmt.Sprintf("cluster: vcore %d resident on two pcores", v))
+			}
+			seen[v] = true
+			if cl.vcores[v].pcore != i {
+				panic(fmt.Sprintf("cluster: vcore %d host mismatch", v))
+			}
+		}
+	}
+	if len(seen) != len(cl.vcores) {
+		panic(fmt.Sprintf("cluster: %d of %d vcores resident", len(seen), len(cl.vcores)))
+	}
+}
+
+// StateCensus counts virtual cores by execution state (debugging aid).
+func (cl *Cluster) StateCensus() map[string]int {
+	out := make(map[string]int)
+	for v := range cl.vcores {
+		if cl.vcores[v].finished {
+			out["finished"]++
+			continue
+		}
+		out[cl.vcores[v].core.State().String()]++
+	}
+	return out
+}
+
+// PCoreStallCensus counts pcores currently stalled (migration/power-up)
+// or in context-switch penalty.
+func (cl *Cluster) PCoreStallCensus() (stalled, switching, inactive int) {
+	for i := range cl.pcores {
+		switch {
+		case !cl.pcores[i].active:
+			inactive++
+		case cl.pcores[i].stallUntil > cl.now:
+			stalled++
+		case cl.pcores[i].switchLeft > 0:
+			switching++
+		}
+	}
+	return
+}
+
+// L2NextFree exposes the L2 port's next-free cycle (debugging aid).
+func (cl *Cluster) L2NextFree() uint64 { return cl.l2NextFree }
+
+// MappingTable snapshots the cluster's virtual-to-physical core map in
+// the VCM's ACPI-style format.
+func (cl *Cluster) MappingTable() vcm.Table {
+	t := vcm.Table{Cluster: cl.id}
+	for v := range cl.vcores {
+		p := cl.vcores[v].pcore
+		t.Entries = append(t.Entries, vcm.Entry{
+			Virtual:        v,
+			Physical:       p,
+			PhysicalActive: cl.pcores[p].active,
+			Multiple:       cl.pcores[p].spec.Multiple,
+		})
+	}
+	return t
+}

@@ -1,0 +1,333 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"respin/internal/config"
+	"respin/internal/mem"
+)
+
+func l1dParams() config.CacheParams {
+	return config.CacheParams{SizeBytes: 16 * 1024, BlockBytes: 32, Assoc: 4, ReadPorts: 1, WritePorts: 1}
+}
+
+func newDir(n int) *Directory { return New(n, l1dParams()) }
+
+func TestColdReadFillsExclusive(t *testing.T) {
+	d := newDir(4)
+	out := d.Read(0, 0x1000)
+	if out.L1Hit || !out.NeedsL2 || out.SourcedFromCore != -1 {
+		t.Fatalf("cold read = %+v", out)
+	}
+	if st := d.Cache(0).State(0x1000); st != Exclusive {
+		t.Fatalf("state = %d, want Exclusive", st)
+	}
+	// Second read hits locally.
+	if out := d.Read(0, 0x1000); !out.L1Hit {
+		t.Fatal("second read should hit")
+	}
+	if d.Sharers(0x1000) != 1 {
+		t.Fatalf("sharers = %d, want 1", d.Sharers(0x1000))
+	}
+}
+
+func TestReadSharingDowngradesExclusive(t *testing.T) {
+	d := newDir(4)
+	d.Read(0, 0x1000) // core 0 E
+	out := d.Read(1, 0x1000)
+	if out.NeedsL2 {
+		t.Fatal("sharing read must be sourced within the cluster")
+	}
+	if out.SourcedFromCore != 0 {
+		t.Fatalf("sourced from %d, want 0", out.SourcedFromCore)
+	}
+	if st := d.Cache(0).State(0x1000); st != Shared {
+		t.Fatalf("core 0 state = %d, want Shared after downgrade", st)
+	}
+	if st := d.Cache(1).State(0x1000); st != Shared {
+		t.Fatalf("core 1 state = %d, want Shared", st)
+	}
+	if d.Sharers(0x1000) != 2 {
+		t.Fatalf("sharers = %d, want 2", d.Sharers(0x1000))
+	}
+}
+
+func TestWriteUpgradeInvalidatesSharers(t *testing.T) {
+	d := newDir(4)
+	d.Read(0, 0x2000)
+	d.Read(1, 0x2000)
+	d.Read(2, 0x2000)
+	out := d.Write(0, 0x2000)
+	if !out.Upgrade {
+		t.Fatalf("expected upgrade, got %+v", out)
+	}
+	if out.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", out.Invalidations)
+	}
+	if st := d.Cache(0).State(0x2000); st != Modified {
+		t.Fatalf("writer state = %d, want Modified", st)
+	}
+	for c := 1; c <= 2; c++ {
+		if d.Cache(c).Contains(0x2000) {
+			t.Fatalf("core %d still holds invalidated line", c)
+		}
+	}
+	if d.Sharers(0x2000) != 1 {
+		t.Fatalf("sharers = %d, want 1", d.Sharers(0x2000))
+	}
+}
+
+func TestSilentExclusiveToModified(t *testing.T) {
+	d := newDir(2)
+	d.Read(0, 0x3000) // E
+	out := d.Write(0, 0x3000)
+	if !out.L1Hit || out.Upgrade || out.Invalidations != 0 {
+		t.Fatalf("E->M should be silent, got %+v", out)
+	}
+	if st := d.Cache(0).State(0x3000); st != Modified {
+		t.Fatalf("state = %d, want Modified", st)
+	}
+	if d.Stats.Invalidations.Value() != 0 {
+		t.Fatal("silent upgrade generated invalidations")
+	}
+}
+
+func TestDirtyForwardOnRead(t *testing.T) {
+	d := newDir(2)
+	d.Write(0, 0x4000) // core 0 M
+	out := d.Read(1, 0x4000)
+	if !out.DirtyForward || out.SourcedFromCore != 0 {
+		t.Fatalf("expected dirty forward from core 0, got %+v", out)
+	}
+	if out.WritebacksToL2 != 1 {
+		t.Fatalf("writebacks = %d, want 1 (dirty data pushed to L2)", out.WritebacksToL2)
+	}
+	// Both now Shared.
+	if d.Cache(0).State(0x4000) != Shared || d.Cache(1).State(0x4000) != Shared {
+		t.Fatal("post-forward states not Shared")
+	}
+}
+
+func TestWriteMissInvalidatesModifiedOwner(t *testing.T) {
+	d := newDir(2)
+	d.Write(0, 0x5000) // core 0 M
+	out := d.Write(1, 0x5000)
+	if !out.DirtyForward || out.SourcedFromCore != 0 {
+		t.Fatalf("expected dirty forward, got %+v", out)
+	}
+	if out.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", out.Invalidations)
+	}
+	if d.Cache(0).Contains(0x5000) {
+		t.Fatal("old owner still holds the line")
+	}
+	if d.Cache(1).State(0x5000) != Modified {
+		t.Fatal("new owner not Modified")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Classic coherence ping-pong: alternating writers each invalidate
+	// the other — the traffic the shared-L1 design eliminates.
+	d := newDir(2)
+	d.Write(0, 0x6000)
+	for i := 0; i < 10; i++ {
+		d.Write(i%2, 0x6000)
+	}
+	if d.Stats.Invalidations.Value() < 9 {
+		t.Fatalf("invalidations = %d, want >= 9 from ping-pong", d.Stats.Invalidations.Value())
+	}
+}
+
+func TestEvictionUpdatesDirectory(t *testing.T) {
+	d := newDir(2)
+	// Fill one set (4 ways) then overflow it: set = block % 128.
+	// Blocks mapping to set 0: addresses 0, 128*32, 2*128*32, ...
+	stride := uint64(128 * 32)
+	for i := uint64(0); i < 5; i++ {
+		d.Read(0, i*stride)
+	}
+	// The first block must have been evicted and dropped from the
+	// directory.
+	if d.Sharers(0) != 0 {
+		t.Fatalf("evicted block still has %d sharers", d.Sharers(0))
+	}
+	if d.Cache(0).Contains(0) {
+		t.Fatal("cache still contains evicted block")
+	}
+	// Re-reading it must be a fresh L2 fill.
+	out := d.Read(0, 0)
+	if !out.NeedsL2 {
+		t.Fatalf("re-read of evicted block = %+v, want NeedsL2", out)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	d := newDir(1)
+	stride := uint64(128 * 32)
+	d.Write(0, 0) // M
+	var sawDirtyEvict bool
+	for i := uint64(1); i <= 4; i++ {
+		out := d.Read(0, i*stride)
+		if out.EvictedDirty {
+			sawDirtyEvict = true
+		}
+	}
+	if !sawDirtyEvict {
+		t.Fatal("dirty line never evicted with writeback")
+	}
+	if d.Stats.WritebacksToL2.Value() == 0 {
+		t.Fatal("writeback not counted")
+	}
+}
+
+func TestFlushCore(t *testing.T) {
+	d := newDir(2)
+	d.Write(0, 0x100)
+	d.Read(0, 0x200)
+	d.Read(1, 0x200) // shared with core 1
+	lines, wbs := d.FlushCore(0)
+	if lines != 2 {
+		t.Fatalf("flushed %d lines, want 2", lines)
+	}
+	if wbs != 1 {
+		t.Fatalf("flush writebacks = %d, want 1 (the Modified line)", wbs)
+	}
+	if d.Cache(0).Occupancy() != 0 {
+		t.Fatal("core 0 cache not empty after flush")
+	}
+	// Core 1 keeps its copy.
+	if !d.Cache(1).Contains(0x200) {
+		t.Fatal("flush damaged another core's cache")
+	}
+	if d.Sharers(0x200) != 1 {
+		t.Fatalf("sharers = %d, want 1", d.Sharers(0x200))
+	}
+	// The flushed-only block is gone from the directory.
+	if d.Sharers(0x100) != 0 {
+		t.Fatal("flushed block still tracked")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := newDir(4)
+	d.Read(0, 0)
+	d.Read(1, 0)
+	d.Write(2, 0)
+	if d.Stats.Reads.Value() != 2 || d.Stats.Writes.Value() != 1 {
+		t.Fatal("read/write counters wrong")
+	}
+	if d.Stats.CacheToCache.Value() == 0 {
+		t.Fatal("cache-to-cache transfers not counted")
+	}
+	if d.Stats.Invalidations.Value() != 2 {
+		t.Fatalf("invalidations = %d, want 2", d.Stats.Invalidations.Value())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero cores", func() { New(0, l1dParams()) })
+	mustPanic("too many cores", func() { New(65, l1dParams()) })
+	d := newDir(2)
+	mustPanic("bad core read", func() { d.Read(2, 0) })
+	mustPanic("bad core write", func() { d.Write(-1, 0) })
+	mustPanic("bad core flush", func() { d.FlushCore(7) })
+}
+
+// Invariant: at any point, a block is either (a) absent everywhere,
+// (b) Modified or Exclusive in exactly one cache, or (c) Shared in one
+// or more caches — never M/E alongside another copy.
+func checkSWMR(t *testing.T, d *Directory, addrs []uint64) {
+	t.Helper()
+	for _, a := range addrs {
+		var m, e, s int
+		for c := 0; c < d.NumCores(); c++ {
+			switch d.Cache(c).State(a) {
+			case Modified:
+				m++
+			case Exclusive:
+				e++
+			case Shared:
+				s++
+			}
+		}
+		if m+e > 1 || (m+e == 1 && s > 0) {
+			t.Fatalf("SWMR violated at %#x: M=%d E=%d S=%d", a, m, e, s)
+		}
+		if got := d.Sharers(a); got != m+e+s {
+			t.Fatalf("directory sharers %d != actual copies %d at %#x", got, m+e+s, a)
+		}
+	}
+}
+
+func TestSingleWriterMultipleReaderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := newDir(8)
+		addrs := make([]uint64, 32)
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(2048)) * 32
+		}
+		for i := 0; i < 400; i++ {
+			core := rng.Intn(8)
+			addr := addrs[rng.Intn(len(addrs))]
+			if rng.Intn(3) == 0 {
+				d.Write(core, addr)
+			} else {
+				d.Read(core, addr)
+			}
+		}
+		// Re-verify SWMR on every touched address.
+		for _, a := range addrs {
+			var me, s int
+			for c := 0; c < 8; c++ {
+				switch d.Cache(c).State(a) {
+				case Modified, Exclusive:
+					me++
+				case Shared:
+					s++
+				}
+			}
+			if me > 1 || (me == 1 && s > 0) {
+				return false
+			}
+			if d.Sharers(a) != me+s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSWMRAfterDirectedSequence(t *testing.T) {
+	d := newDir(4)
+	addr := uint64(0x700)
+	d.Read(0, addr)
+	d.Read(1, addr)
+	d.Read(2, addr)
+	d.Write(3, addr)
+	d.Read(0, addr)
+	checkSWMR(t, d, []uint64{addr})
+}
+
+func TestModifiedStateAliasesDirty(t *testing.T) {
+	// The protocol relies on Modified == mem.StateDirty so that array
+	// eviction writeback logic applies.
+	if Modified != mem.StateDirty || Shared != mem.StateValid || Invalid != mem.StateInvalid {
+		t.Fatal("state aliasing broken")
+	}
+}

@@ -1,0 +1,239 @@
+// Package consolidation implements the virtual core monitor's energy
+// optimisation policies (Section III.B): the paper's greedy EPI search
+// with dead-band and exponential back-off, the oracle limit study, and
+// the OS-interval comparator policy. The policies only decide the target
+// active-core count; package cluster executes remapping and gating.
+package consolidation
+
+import (
+	"fmt"
+	"math"
+
+	"respin/internal/config"
+)
+
+// Measurement summarises one completed epoch for the policy.
+type Measurement struct {
+	// EPI is the cluster's energy per instruction for the epoch (pJ).
+	EPI float64
+	// Utilization is the busy fraction of active-core cycles (0..1).
+	Utilization float64
+	// Instructions retired during the epoch.
+	Instructions uint64
+	// TimePS is the epoch duration.
+	TimePS int64
+	// EnergyPJ is the epoch energy.
+	EnergyPJ float64
+	// DynamicPJ is the count-independent (dynamic) part of the energy.
+	DynamicPJ float64
+	// Active is the active-core count the epoch ran with.
+	Active int
+}
+
+// Manager decides the target active-core count after each epoch.
+type Manager interface {
+	// Decide consumes an epoch measurement and returns the active-core
+	// count for the next epoch.
+	Decide(m Measurement) int
+}
+
+// Greedy is the paper's hardware greedy search (Figure 5): execution is
+// divided into epochs; after each epoch the EPI is compared with the
+// previous epoch's and a core is turned off or on accordingly, with a
+// dead-band to avoid churn for minor gains and an exponential back-off
+// when an oscillating on/off pattern is detected.
+type Greedy struct {
+	params   config.ConsolidationParams
+	maxCores int
+
+	active    int
+	direction int // -1 = shutting down, +1 = turning on
+	prevEPI   float64
+	havePrev  bool
+
+	holdLeft   int
+	backoffIdx int
+	lastCounts []int // recent decisions, for oscillation detection
+}
+
+// NewGreedy builds the greedy policy starting from all cores active.
+func NewGreedy(params config.ConsolidationParams, maxCores int) *Greedy {
+	if maxCores < 1 {
+		panic(fmt.Sprintf("consolidation: invalid core count %d", maxCores))
+	}
+	return &Greedy{
+		params:    params,
+		maxCores:  maxCores,
+		active:    maxCores,
+		direction: -1, // first move shuts one core down, per the paper
+	}
+}
+
+// Active returns the current target.
+func (g *Greedy) Active() int { return g.active }
+
+// Decide implements Manager.
+func (g *Greedy) Decide(m Measurement) int {
+	if g.holdLeft > 0 {
+		g.holdLeft--
+		g.prevEPI = m.EPI
+		return g.active
+	}
+	if !g.havePrev {
+		// End of the first epoch: take the initial exploratory step.
+		g.havePrev = true
+		g.prevEPI = m.EPI
+		return g.step()
+	}
+
+	rel := relDiff(m.EPI, g.prevEPI)
+	g.prevEPI = m.EPI
+	switch {
+	case math.Abs(rel) < g.params.EPIThreshold:
+		// Dead band: stay put.
+		return g.active
+	case rel < 0:
+		// Energy improved: continue in the same direction.
+		return g.step()
+	default:
+		// Energy got worse: reverse.
+		g.direction = -g.direction
+		return g.step()
+	}
+}
+
+// step moves one core in the current direction, clamping at the ends,
+// and applies oscillation back-off.
+func (g *Greedy) step() int {
+	next := g.active + g.direction
+	if next < g.params.MinActiveCores {
+		next = g.params.MinActiveCores
+		g.direction = 1
+	}
+	if next > g.maxCores {
+		next = g.maxCores
+		g.direction = -1
+	}
+	g.active = next
+	g.recordAndBackoff(next)
+	return g.active
+}
+
+// oscillationWindow is how many recent decisions are inspected for an
+// oscillating pattern.
+const oscillationWindow = 6
+
+// recordAndBackoff tracks recent decisions; when the search keeps
+// bouncing between neighbouring states (several direction changes within
+// a narrow band) it engages exponentially growing hold periods
+// (2, 4, 8, 16, 32 epochs), exactly the paper's back-off.
+func (g *Greedy) recordAndBackoff(count int) {
+	g.lastCounts = append(g.lastCounts, count)
+	if len(g.lastCounts) > oscillationWindow {
+		g.lastCounts = g.lastCounts[len(g.lastCounts)-oscillationWindow:]
+	}
+	c := g.lastCounts
+	if len(c) < oscillationWindow {
+		return
+	}
+	lo, hi, changes := c[0], c[0], 0
+	for i := 1; i < len(c); i++ {
+		if c[i] < lo {
+			lo = c[i]
+		}
+		if c[i] > hi {
+			hi = c[i]
+		}
+		if i >= 2 && (c[i]-c[i-1])*(c[i-1]-c[i-2]) < 0 {
+			changes++
+		}
+	}
+	if hi-lo <= 2 && changes >= 2 {
+		schedule := g.params.BackoffEpochs
+		if len(schedule) == 0 {
+			return
+		}
+		if g.backoffIdx >= len(schedule) {
+			g.backoffIdx = len(schedule) - 1
+		}
+		g.holdLeft = schedule[g.backoffIdx]
+		if g.backoffIdx < len(schedule)-1 {
+			g.backoffIdx++
+		}
+		g.lastCounts = nil
+	} else if hi-lo > 2 {
+		// The search is making real progress: back-off pressure relaxes.
+		g.backoffIdx = 0
+	}
+}
+
+// relDiff returns (a-b)/b, or 0 when either value is unusable (a
+// zero-instruction or unmeasured epoch must not steer the search).
+func relDiff(a, b float64) float64 {
+	if a <= 0 || b <= 0 ||
+		math.IsInf(b, 0) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsNaN(a) {
+		return 0
+	}
+	return (a - b) / b
+}
+
+// Oracle picks, each epoch, the active-core count that minimises a
+// first-order energy model fitted to the epoch's measurements — the
+// paper's limit study, which adapts immediately to phase changes where
+// the greedy search walks one step at a time.
+//
+// The model: the epoch did busy work of Active*Utilization*Time
+// core-seconds. With m cores that work takes Time*Utilization*Active/m,
+// plus the non-scalable fraction Time*(1-Utilization). Dynamic energy is
+// count-independent; leakage scales with time and the powered count.
+type Oracle struct {
+	params   config.ConsolidationParams
+	maxCores int
+	// CoreLeakW and GatedLeakW are per-core leakage powers; FixedLeakW
+	// is the cluster's count-independent leakage (its cache share).
+	CoreLeakW, GatedLeakW, FixedLeakW float64
+}
+
+// NewOracle builds the oracle policy.
+func NewOracle(params config.ConsolidationParams, maxCores int, coreLeakW, gatedLeakW, fixedLeakW float64) *Oracle {
+	if maxCores < 1 {
+		panic(fmt.Sprintf("consolidation: invalid core count %d", maxCores))
+	}
+	return &Oracle{
+		params: params, maxCores: maxCores,
+		CoreLeakW: coreLeakW, GatedLeakW: gatedLeakW, FixedLeakW: fixedLeakW,
+	}
+}
+
+// Decide implements Manager.
+func (o *Oracle) Decide(m Measurement) int {
+	if m.Instructions == 0 || m.TimePS <= 0 || m.Active <= 0 {
+		return o.maxCores
+	}
+	u := m.Utilization
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	t := float64(m.TimePS)
+	best, bestE := m.Active, math.Inf(1)
+	for c := o.params.MinActiveCores; c <= o.maxCores; c++ {
+		tm := t * (u*float64(m.Active)/float64(c) + (1 - u))
+		leakW := o.FixedLeakW + float64(c)*o.CoreLeakW +
+			float64(o.maxCores-c)*o.GatedLeakW
+		e := m.DynamicPJ + leakW*tm // W * ps = pJ
+		if e < bestE {
+			best, bestE = c, e
+		}
+	}
+	return best
+}
+
+// Static always returns a fixed count (used by ablation benches and the
+// non-consolidating configurations).
+type Static int
+
+// Decide implements Manager.
+func (s Static) Decide(Measurement) int { return int(s) }

@@ -1,0 +1,248 @@
+package consolidation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"respin/internal/config"
+)
+
+func params() config.ConsolidationParams { return config.DefaultConsolidationParams() }
+
+func meas(epi float64) Measurement {
+	return Measurement{EPI: epi, Utilization: 0.8, Instructions: 160_000, TimePS: 1_000_000, EnergyPJ: epi * 160_000}
+}
+
+func TestGreedyFirstStepShutsOneDown(t *testing.T) {
+	g := NewGreedy(params(), 16)
+	if g.Active() != 16 {
+		t.Fatalf("initial active = %d, want 16", g.Active())
+	}
+	if got := g.Decide(meas(100)); got != 15 {
+		t.Fatalf("first decision = %d, want 15 (paper: shut one down after first epoch)", got)
+	}
+}
+
+func TestGreedyDescendsWhileImproving(t *testing.T) {
+	g := NewGreedy(params(), 16)
+	count := g.Decide(meas(100))
+	// Strictly improving EPI: keep shutting down.
+	epi := 95.0
+	for i := 0; i < 5; i++ {
+		next := g.Decide(meas(epi))
+		if next != count-1 {
+			t.Fatalf("step %d: %d -> %d, want descend", i, count, next)
+		}
+		count = next
+		epi *= 0.95
+	}
+}
+
+func TestGreedyReversesWhenWorse(t *testing.T) {
+	g := NewGreedy(params(), 16)
+	g.Decide(meas(100)) // 15
+	c := g.Decide(meas(90))
+	if c != 14 {
+		t.Fatalf("improving should descend, got %d", c)
+	}
+	c = g.Decide(meas(120)) // got worse -> reverse up
+	if c != 15 {
+		t.Fatalf("worsening should reverse to 15, got %d", c)
+	}
+}
+
+func TestGreedyDeadBandHolds(t *testing.T) {
+	g := NewGreedy(params(), 16)
+	g.Decide(meas(100))        // 15
+	c := g.Decide(meas(100.1)) // within 2% dead band
+	if c != 15 {
+		t.Fatalf("dead band should hold at 15, got %d", c)
+	}
+}
+
+func TestGreedyClampsAtBounds(t *testing.T) {
+	p := params()
+	p.MinActiveCores = 4
+	g := NewGreedy(p, 6)
+	epi := 100.0
+	last := 6
+	for i := 0; i < 20; i++ {
+		epi *= 0.9 // always improving -> descend forever
+		last = g.Decide(meas(epi))
+		if last < 4 {
+			t.Fatalf("went below min active: %d", last)
+		}
+	}
+	if last != 4 && last != 5 {
+		t.Fatalf("should settle near the floor, got %d", last)
+	}
+}
+
+func TestGreedyBackoffOnOscillation(t *testing.T) {
+	g := NewGreedy(params(), 16)
+	// Manufacture oscillation: improving/worsening alternately gives
+	// 15,14,15,14 ... -> back-off should engage and hold.
+	epis := []float64{100, 90, 120, 90, 120, 90, 120, 90, 120}
+	var counts []int
+	for _, e := range epis {
+		counts = append(counts, g.Decide(meas(e)))
+	}
+	// After detection, decisions must repeat (hold) for >= 2 epochs.
+	heldRun := 1
+	maxRun := 1
+	for i := 1; i < len(counts); i++ {
+		if counts[i] == counts[i-1] {
+			heldRun++
+			if heldRun > maxRun {
+				maxRun = heldRun
+			}
+		} else {
+			heldRun = 1
+		}
+	}
+	if maxRun < 3 {
+		t.Fatalf("no hold after oscillation; decisions: %v", counts)
+	}
+}
+
+func TestGreedyBackoffEscalates(t *testing.T) {
+	g := NewGreedy(params(), 16)
+	g.Decide(meas(100))
+	countHolds := func() int {
+		// Drive oscillation until a new hold engages (holdLeft rises
+		// from zero) and report its initial length.
+		prev := g.holdLeft
+		for i := 0; i < 200; i++ {
+			g.Decide(meas([]float64{90, 120}[i%2]))
+			if prev == 0 && g.holdLeft > 0 {
+				return g.holdLeft
+			}
+			prev = g.holdLeft
+		}
+		return 0
+	}
+	first := countHolds()
+	if first == 0 {
+		t.Fatal("back-off never engaged")
+	}
+	second := countHolds()
+	if second <= first {
+		t.Fatalf("back-off did not escalate: %d then %d", first, second)
+	}
+}
+
+func TestGreedyIgnoresGarbageEPI(t *testing.T) {
+	g := NewGreedy(params(), 16)
+	g.Decide(meas(100))
+	before := g.Active()
+	got := g.Decide(Measurement{EPI: 0})
+	// relDiff returns 0 -> dead band -> hold.
+	if got != before {
+		t.Fatalf("zero EPI moved the search: %d -> %d", before, got)
+	}
+}
+
+func TestOracleShrinksWhenSaturated(t *testing.T) {
+	p := params()
+	p.MinActiveCores = 1
+	o := NewOracle(p, 16, 0.2, 0.01, 1.0)
+	// Low utilisation: work is saturation-limited; fewer cores save
+	// leakage at little time cost.
+	m := Measurement{
+		EPI: 100, Utilization: 0.3, Instructions: 160_000,
+		TimePS: 1_000_000, EnergyPJ: 16e6, DynamicPJ: 4e6, Active: 16,
+	}
+	got := o.Decide(m)
+	if got >= 16 {
+		t.Fatalf("oracle kept %d cores despite 30%% utilisation", got)
+	}
+	if got < 4 {
+		t.Fatalf("oracle over-consolidated to %d at 30%% utilisation", got)
+	}
+}
+
+func TestOracleKeepsCoresWhenBusy(t *testing.T) {
+	p := params()
+	o := NewOracle(p, 16, 0.2, 0.01, 1.0)
+	m := Measurement{
+		EPI: 100, Utilization: 1.0, Instructions: 160_000,
+		TimePS: 1_000_000, EnergyPJ: 16e6, DynamicPJ: 12e6, Active: 16,
+	}
+	got := o.Decide(m)
+	// Fully busy: halving cores doubles time; leakage-time product is
+	// flat in core count for the core component but the fixed leakage
+	// doubles — keep most cores.
+	if got < 12 {
+		t.Fatalf("oracle consolidated to %d despite full utilisation", got)
+	}
+}
+
+func TestOracleDegenerateMeasurement(t *testing.T) {
+	o := NewOracle(params(), 16, 0.2, 0.01, 1.0)
+	if got := o.Decide(Measurement{}); got != 16 {
+		t.Fatalf("degenerate measurement -> %d, want all cores", got)
+	}
+	// Utilisation clamping.
+	m := Measurement{Utilization: 7, Instructions: 1, TimePS: 1, Active: 16, DynamicPJ: 1}
+	if got := o.Decide(m); got < 4 || got > 16 {
+		t.Fatalf("out-of-range decision %d", got)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	if got := Static(7).Decide(Measurement{}); got != 7 {
+		t.Fatalf("Static(7) = %d", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("greedy zero cores", func() { NewGreedy(params(), 0) })
+	mustPanic("oracle zero cores", func() { NewOracle(params(), 0, 1, 1, 1) })
+}
+
+// Property: greedy decisions always stay within [MinActiveCores, max].
+func TestGreedyBoundsProperty(t *testing.T) {
+	f := func(epis []float64) bool {
+		g := NewGreedy(params(), 16)
+		for _, e := range epis {
+			if e < 0 {
+				e = -e
+			}
+			c := g.Decide(meas(e))
+			if c < 1 || c > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the oracle decision is monotone-ish in utilisation — at
+// higher utilisation it never wants fewer cores than at much lower
+// utilisation (same epoch otherwise).
+func TestOracleMonotoneInUtilization(t *testing.T) {
+	o := NewOracle(params(), 16, 0.2, 0.01, 1.0)
+	base := Measurement{Instructions: 160_000, TimePS: 1_000_000, DynamicPJ: 5e6, Active: 16}
+	prev := -1
+	for _, u := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		m := base
+		m.Utilization = u
+		got := o.Decide(m)
+		if got < prev {
+			t.Fatalf("u=%.1f -> %d cores, below previous %d", u, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,96 @@
+// Package core is the high-level entry point to the Respin system: it
+// assembles a complete simulated 64-core near-threshold chip
+// multiprocessor for any of the paper's Table IV configurations and runs
+// the synthetic SPLASH-2/PARSEC workloads on it.
+//
+// The primary contributions reproduced here are (1) the cluster-shared
+// STT-RAM L1/L2 hierarchy behind the time-multiplexing cache controller
+// of Section II (package sharedcache), which eliminates intra-cluster
+// coherence, and (2) the dynamic core-consolidation system of Section
+// III (packages cluster and consolidation), which transparently remaps
+// virtual cores onto the most energy-efficient physical cores.
+//
+// Quick start:
+//
+//	sys, err := core.NewSystem(core.Proposed(), core.WithQuota(100_000))
+//	res, err := sys.Run("fft")
+//	fmt.Println(res.TimePS, res.EnergyPJ)
+package core
+
+import (
+	"fmt"
+
+	"respin/internal/config"
+	"respin/internal/sim"
+	"respin/internal/trace"
+)
+
+// Result re-exports the simulator result type.
+type Result = sim.Result
+
+// Option customises a System.
+type Option func(*System)
+
+// WithQuota sets the per-thread instruction budget.
+func WithQuota(instr uint64) Option { return func(s *System) { s.opts.QuotaInstr = instr } }
+
+// WithSeed sets the randomness seed (workloads, variation tie-breaks).
+func WithSeed(seed int64) Option { return func(s *System) { s.opts.Seed = seed } }
+
+// WithClusterSize overrides the 16-core default cluster (the Section
+// V.D sweep uses 4..32).
+func WithClusterSize(n int) Option { return func(s *System) { s.clusterSize = n } }
+
+// WithScale selects the Table I cache scale (default Medium).
+func WithScale(scale config.CacheScale) Option { return func(s *System) { s.scale = scale } }
+
+// WithEpochTrace records the consolidation trace (Figures 12-13).
+func WithEpochTrace() Option { return func(s *System) { s.opts.EpochTrace = true } }
+
+// Proposed returns the paper's full proposal: shared STT-RAM caches with
+// greedy dynamic core consolidation (SH-STT-CC).
+func Proposed() config.ArchKind { return config.SHSTTCC }
+
+// SharedSTT returns the shared STT-RAM design without consolidation.
+func SharedSTT() config.ArchKind { return config.SHSTT }
+
+// Baseline returns the near-threshold private-SRAM baseline.
+func Baseline() config.ArchKind { return config.PRSRAMNT }
+
+// System is a configured chip ready to run workloads.
+type System struct {
+	kind        config.ArchKind
+	scale       config.CacheScale
+	clusterSize int
+	opts        sim.Options
+}
+
+// NewSystem builds a system for one Table IV configuration.
+func NewSystem(kind config.ArchKind, opts ...Option) (*System, error) {
+	s := &System{kind: kind, scale: config.Medium, clusterSize: 16}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := s.Config().Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s, nil
+}
+
+// Config returns the fully-resolved architecture configuration.
+func (s *System) Config() config.Config {
+	return config.NewWithCluster(s.kind, s.scale, s.clusterSize)
+}
+
+// Run executes one benchmark to completion and returns timing, energy
+// and microarchitectural statistics.
+func (s *System) Run(bench string) (Result, error) {
+	return sim.Run(s.Config(), bench, s.opts)
+}
+
+// Benchmarks lists the available synthetic workloads (9 SPLASH-2 + 4
+// PARSEC, as in the paper's evaluation).
+func Benchmarks() []string { return trace.Names() }
+
+// Configurations lists every Table IV system configuration.
+func Configurations() []config.ArchKind { return config.AllArchKinds }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"respin/internal/config"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(SharedSTT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sys.Config()
+	if cfg.Kind != config.SHSTT || cfg.Scale != config.Medium || cfg.ClusterSize != 16 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	sys, err := NewSystem(Proposed(),
+		WithQuota(12_345), WithSeed(9), WithClusterSize(8),
+		WithScale(config.Large), WithEpochTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sys.Config()
+	if cfg.ClusterSize != 8 || cfg.Scale != config.Large {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+	if sys.opts.QuotaInstr != 12_345 || sys.opts.Seed != 9 || !sys.opts.EpochTrace {
+		t.Errorf("sim options not applied: %+v", sys.opts)
+	}
+}
+
+func TestNewSystemRejectsInvalid(t *testing.T) {
+	if _, err := NewSystem(SharedSTT(), WithClusterSize(7)); err == nil {
+		t.Error("indivisible cluster size accepted")
+	}
+}
+
+func TestKindHelpers(t *testing.T) {
+	if Proposed() != config.SHSTTCC || SharedSTT() != config.SHSTT || Baseline() != config.PRSRAMNT {
+		t.Error("kind helpers wrong")
+	}
+}
+
+func TestBenchmarksAndConfigurations(t *testing.T) {
+	if got := len(Benchmarks()); got != 13 {
+		t.Errorf("benchmarks = %d, want 13", got)
+	}
+	if got := len(Configurations()); got != 8 {
+		t.Errorf("configurations = %d, want 8 (Table IV)", got)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	sys, err := NewSystem(SharedSTT(), WithQuota(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 64*10_000 || res.EnergyPJ <= 0 {
+		t.Errorf("degenerate result: %d instr, %.1f pJ", res.Instructions, res.EnergyPJ)
+	}
+	if _, err := sys.Run("nosuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"respin/internal/config"
+	"respin/internal/report"
+	"respin/internal/tech"
+)
+
+// coreAreaMM2 is the silicon area of one dual-issue NT core (logic,
+// register files, private structures), calibrated so that the medium
+// STT-RAM hierarchy occupies ~25% of the chip, Section IV's anchor.
+// Note an internal tension in the paper's numbers: Table I doubles the
+// L2/L3 capacity from medium to large, which at a fixed core area takes
+// the cache share from 25% to ~40%, not the stated "approximately 50%";
+// we keep the medium anchor exact and report the consistent large-scale
+// share.
+const coreAreaMM2 = 2.7
+
+// densityDerate approximates how much denser L2/L3 arrays are laid out
+// than the latency-optimised L1 the Table III area anchor describes.
+const (
+	l2DensityDerate = 0.55
+	l3DensityDerate = 0.45
+)
+
+// AreaRow is one configuration's area decomposition.
+type AreaRow struct {
+	Scale      config.CacheScale
+	Tech       config.MemTech
+	CoreMM2    float64
+	CacheMM2   float64
+	TotalMM2   float64
+	CacheShare float64
+}
+
+// AreaStudyResult checks the paper's Section IV area proportioning: the
+// medium cache configuration is ~25% of chip area and the large ~50%.
+type AreaStudyResult struct{ Rows []AreaRow }
+
+// AreaStudy computes chip areas for the shared STT-RAM hierarchy at all
+// three scales (and SRAM for contrast — STT-RAM's ~3.7x density is one
+// of its headline advantages).
+func AreaStudy() AreaStudyResult {
+	var out AreaStudyResult
+	for _, t := range []config.MemTech{config.STTRAM, config.SRAM} {
+		for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
+			h := config.NewHierarchy(scale, config.SharedL1, 16)
+			l1 := tech.New(t, h.L1I.SizeBytes, config.NominalVdd).AreaMM2 +
+				tech.New(t, h.L1D.SizeBytes, config.NominalVdd).AreaMM2
+			l2 := tech.New(t, h.L2.SizeBytes, config.NominalVdd).AreaMM2 * l2DensityDerate
+			l3 := tech.New(t, h.L3.SizeBytes, config.NominalVdd).AreaMM2 * l3DensityDerate
+			cache := 4*(l1+l2) + l3
+			cores := float64(config.NumCores) * coreAreaMM2
+			out.Rows = append(out.Rows, AreaRow{
+				Scale: scale, Tech: t,
+				CoreMM2: cores, CacheMM2: cache, TotalMM2: cores + cache,
+				CacheShare: cache / (cores + cache),
+			})
+		}
+	}
+	return out
+}
+
+// Share returns the cache area share for a scale with STT-RAM.
+func (a AreaStudyResult) Share(scale config.CacheScale) float64 {
+	for _, r := range a.Rows {
+		if r.Scale == scale && r.Tech == config.STTRAM {
+			return r.CacheShare
+		}
+	}
+	return 0
+}
+
+// Render formats the study.
+func (a AreaStudyResult) Render() string {
+	t := report.NewTable("Chip area by cache scale (Section IV: medium ~25%, large ~50%)",
+		"tech", "scale", "cores mm^2", "cache mm^2", "total mm^2", "cache share")
+	for _, r := range a.Rows {
+		t.AddRow(r.Tech.String(), r.Scale.String(),
+			fmt.Sprintf("%.0f", r.CoreMM2), fmt.Sprintf("%.0f", r.CacheMM2),
+			fmt.Sprintf("%.0f", r.TotalMM2), report.PctU(r.CacheShare))
+	}
+	return t.String()
+}
+
+// Floorplan renders the paper's Figure 2 as ASCII: four clusters of 16
+// NT cores around shared L1/L2 blocks, the chip-wide L3, and the two
+// voltage rails.
+func Floorplan() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: chip floorplan (4 clusters x 16 NT cores, dual voltage rails)\n")
+	cluster := func(id int) []string {
+		return []string{
+			"+--------------------------+",
+			"| c c c c   cluster " + fmt.Sprint(id) + "      |",
+			"| c c c c  +-------------+ |",
+			"| c c c c  | L1I | L1D   | |",
+			"| c c c c  |  shared L2  | |",
+			"|  NT rail +-------------+ |",
+			"|           high-Vdd rail  |",
+			"+--------------------------+",
+		}
+	}
+	left, right := cluster(0), cluster(1)
+	for i := range left {
+		b.WriteString(left[i] + "  " + right[i] + "\n")
+	}
+	b.WriteString("+--------------------------------------------------------+\n")
+	b.WriteString("|              shared L3 (STT-RAM, high-Vdd rail)        |\n")
+	b.WriteString("+--------------------------------------------------------+\n")
+	left, right = cluster(2), cluster(3)
+	for i := range left {
+		b.WriteString(left[i] + "  " + right[i] + "\n")
+	}
+	b.WriteString("c = near-threshold core (0.4V rail, 1.6-2.4ns clocks)\n")
+	b.WriteString("caches = STT-RAM at nominal 1.0V, accessed through level shifters\n")
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"respin/internal/config"
+)
+
+// TestCalibrationReport logs the headline numbers against the paper's
+// (informational; run with -v). Uses the quick runner.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report is slow")
+	}
+	r := QuickRunner()
+	r.Progress = os.Stderr
+
+	f6 := r.Figure6()
+	t.Logf("Fig6 SH-STT power reduction: small %.1f%% (paper 2.1), medium %.1f%% (12.9), large %.1f%% (22.1)",
+		100*f6.Reduction(config.Small), 100*f6.Reduction(config.Medium), 100*f6.Reduction(config.Large))
+
+	f7 := r.Figure7()
+	t.Logf("Fig7 normalized time: SH-STT %.3f (paper 0.89), SH-SRAM-Nom %.3f (~0.90), HP %.3f (<<1)",
+		f7.Mean(config.SHSTT), f7.Mean(config.SHSRAMNom), f7.Mean(config.HPSRAMCMP))
+
+	f9 := r.Figure9()
+	t.Logf("Fig9 normalized energy: SH-STT %.3f (paper 0.77), SH-SRAM-Nom %.3f (1.12), HP %.3f (1.40), PR-STT-CC %.3f (0.76), SH-STT-CC %.3f (0.67), Oracle %.3f (0.64), OS %.3f (0.98 = 1.27x SH-STT)",
+		f9.Mean(config.SHSTT), f9.Mean(config.SHSRAMNom), f9.Mean(config.HPSRAMCMP),
+		f9.Mean(config.PRSTTCC), f9.Mean(config.SHSTTCC), f9.Mean(config.SHSTTCCOracle), f9.Mean(config.SHSTTCCOS))
+
+	f11 := r.Figure11()
+	t.Logf("Fig11: 1-cycle reads %.1f%% (paper 95.8), half-miss %.1f%% (4)",
+		100*f11.OneCycleFraction(), 100*f11.HalfMissRate)
+}

@@ -1,0 +1,107 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V plus the motivating Figure 1 and the methodology
+// tables). Each experiment has a driver that runs the required simulator
+// configurations (results are cached and shared between figures) and a
+// renderer that prints rows/series comparable with the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"respin/internal/config"
+	"respin/internal/sim"
+	"respin/internal/stats"
+	"respin/internal/trace"
+)
+
+// Runner executes and caches simulation runs for the experiment drivers.
+type Runner struct {
+	// Quota is the per-thread instruction budget for the main figures.
+	Quota uint64
+	// TraceQuota is the (longer) budget for the consolidation traces
+	// (Figures 12-14), which need many epochs.
+	TraceQuota uint64
+	// Seed drives all randomness.
+	Seed int64
+	// Benches is the benchmark list (default: all 13).
+	Benches []string
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	mu    sync.Mutex
+	cache map[string]sim.Result
+}
+
+// NewRunner returns the full-fidelity runner used by cmd/respin-bench.
+func NewRunner() *Runner {
+	return &Runner{
+		Quota:      150_000,
+		TraceQuota: 400_000,
+		Seed:       1,
+		Benches:    trace.Names(),
+		cache:      make(map[string]sim.Result),
+	}
+}
+
+// QuickRunner returns a reduced runner (four representative benchmarks,
+// short quotas) for tests and rapid iteration.
+func QuickRunner() *Runner {
+	return &Runner{
+		Quota:      40_000,
+		TraceQuota: 120_000,
+		Seed:       1,
+		Benches:    []string{"fft", "ocean", "radix", "raytrace"},
+		cache:      make(map[string]sim.Result),
+	}
+}
+
+// run executes (or recalls) one simulation.
+func (r *Runner) run(kind config.ArchKind, scale config.CacheScale, clusterSize int, bench string, quota uint64, epochTrace bool) sim.Result {
+	key := fmt.Sprintf("%v|%v|%d|%s|%d|%v", kind, scale, clusterSize, bench, quota, epochTrace)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	cfg := config.NewWithCluster(kind, scale, clusterSize)
+	res, err := sim.Run(cfg, bench, sim.Options{
+		QuotaInstr: quota,
+		Seed:       r.Seed,
+		EpochTrace: epochTrace,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "ran %-16v %-6v cl%-2d %-14s: %8d kcycles, %s\n",
+			kind, scale, clusterSize, bench, res.Cycles/1000, fmtEnergy(res.EnergyPJ))
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+// medium is shorthand for the default configuration point.
+func (r *Runner) medium(kind config.ArchKind, bench string) sim.Result {
+	return r.run(kind, config.Medium, 16, bench, r.Quota, false)
+}
+
+func fmtEnergy(pj float64) string {
+	switch {
+	case pj >= 1e9:
+		return fmt.Sprintf("%.2f mJ", pj*1e-9)
+	case pj >= 1e6:
+		return fmt.Sprintf("%.2f uJ", pj*1e-6)
+	default:
+		return fmt.Sprintf("%.0f pJ", pj)
+	}
+}
+
+// meanNormalized returns the geometric mean over benches of
+// metric(cfg)/metric(base).
+func meanNormalized(vals []float64) float64 { return stats.GeoMean(vals) }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"respin/internal/config"
+	"respin/internal/power"
+	"respin/internal/report"
+	"respin/internal/tech"
+)
+
+// Figure1Result is the chip power breakdown at the two operating points.
+type Figure1Result struct {
+	Nominal, NearThreshold power.Breakdown
+}
+
+// Figure1 computes the motivating power breakdown: a 64-core CMP with
+// the medium SRAM hierarchy at nominal voltage/frequency versus the same
+// chip at near-threshold (cores 0.4 V / ~500 MHz, SRAM caches 0.65 V).
+func Figure1() Figure1Result {
+	return Figure1Result{
+		Nominal:       power.EstimateBreakdown(config.New(config.HPSRAMCMP, config.Medium), 2.5),
+		NearThreshold: power.EstimateBreakdown(config.New(config.PRSRAMNT, config.Medium), 0.5),
+	}
+}
+
+// Render formats Figure 1.
+func (f Figure1Result) Render() string {
+	t := report.NewTable("Figure 1: CMP power breakdown, nominal vs near-threshold",
+		"operating point", "core dyn", "core leak", "cache dyn", "cache leak", "total", "leakage share", "cache share of leak")
+	row := func(name string, b power.Breakdown) {
+		t.AddRow(name,
+			report.Watts(b.CoreDynW), report.Watts(b.CoreLeakW),
+			report.Watts(b.CacheDynW), report.Watts(b.CacheLeakW),
+			report.Watts(b.TotalW()),
+			report.PctU(b.LeakFraction()), report.PctU(b.CacheLeakShareOfLeak()))
+	}
+	row("nominal 1.0V @2.5GHz", f.Nominal)
+	row("NT 0.4V core / 0.65V SRAM @0.5GHz", f.NearThreshold)
+	return t.String()
+}
+
+// TableI renders the cache hierarchy configurations.
+func TableI() string {
+	t := report.NewTable("Table I: cache configurations",
+		"level", "size", "block", "assoc", "rd/wr ports")
+	for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
+		for _, org := range []config.L1Org{config.PrivateL1, config.SharedL1} {
+			h := config.NewHierarchy(scale, org, 16)
+			if scale == config.Medium {
+				t.AddRow(fmt.Sprintf("L1I (%s)", org), sizeKB(h.L1I.SizeBytes),
+					fmt.Sprintf("%dB", h.L1I.BlockBytes), fmt.Sprintf("%d-way", h.L1I.Assoc), "1/1")
+				t.AddRow(fmt.Sprintf("L1D (%s)", org), sizeKB(h.L1D.SizeBytes),
+					fmt.Sprintf("%dB", h.L1D.BlockBytes), fmt.Sprintf("%d-way", h.L1D.Assoc), "1/1")
+			}
+		}
+	}
+	for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
+		h := config.NewHierarchy(scale, config.SharedL1, 16)
+		t.AddRow(fmt.Sprintf("L2 per cluster (%v)", scale), sizeKB(h.L2.SizeBytes), "64B", "8-way", "1/1")
+		t.AddRow(fmt.Sprintf("L3 chip (%v)", scale), sizeKB(h.L3.SizeBytes), "128B", "16-way", "1/1")
+	}
+	return t.String()
+}
+
+func sizeKB(b int) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+	return fmt.Sprintf("%dKB", b>>10)
+}
+
+// TableIII renders the L1 technology parameters produced by the model
+// next to the paper's anchor values.
+func TableIII() string {
+	t := report.NewTable("Table III: L1 data cache technology parameters (model vs paper anchors)",
+		"array", "Vdd", "area mm^2", "rd lat ps", "wr lat ps", "rd E pJ", "leak mW")
+	rows := tech.TableIII()
+	names := []string{"SRAM 16KBx16", "SRAM 16KBx16", "SRAM 256KB", "STT-RAM 256KB"}
+	paper := []string{
+		"paper: 0.9176 / 1337 / 2.578 / 573",
+		"paper: 0.9176 / 211.9 / 6.102 / 881",
+		"paper: 0.9176 / 533.6 / 42.41 / 881",
+		"paper: 0.2451 / ~400 / 5208(wr) / 29.32 / 114",
+	}
+	for i, m := range rows {
+		t.AddRow(names[i], fmt.Sprintf("%.2fV", m.Vdd),
+			fmt.Sprintf("%.4f", m.AreaMM2),
+			fmt.Sprintf("%.1f", m.ReadLatencyPS),
+			fmt.Sprintf("%.1f", m.WriteLatencyPS),
+			fmt.Sprintf("%.2f", m.ReadEnergyPJ),
+			fmt.Sprintf("%.1f", m.LeakageMW))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	for _, p := range paper {
+		b.WriteString("  " + p + "\n")
+	}
+	return b.String()
+}
+
+// TableIV renders the architecture configuration legend.
+func TableIV() string {
+	t := report.NewTable("Table IV: architecture configurations", "name", "description")
+	for _, k := range config.AllArchKinds {
+		t.AddRow(k.String(), k.Description())
+	}
+	return t.String()
+}

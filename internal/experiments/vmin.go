@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"respin/internal/config"
+	"respin/internal/reliability"
+	"respin/internal/report"
+)
+
+// VminRow is one cache/scheme reliability point.
+type VminRow struct {
+	Level    string
+	Capacity int
+	Scheme   reliability.ECC
+	// VminSRAM is the minimum safe SRAM supply at 99% array yield.
+	VminSRAM float64
+	// YieldAtNT and YieldAtRail are the SRAM yields at the 0.4 V core
+	// rail and the baseline's 0.65 V cache rail.
+	YieldAtNT, YieldAtRail float64
+}
+
+// VminStudyResult quantifies the paper's Section I motivation: why SRAM
+// near-threshold caches need a separate, higher rail (or strong ECC),
+// and why STT-RAM sidesteps the problem entirely.
+type VminStudyResult struct{ Rows []VminRow }
+
+// VminStudy evaluates every cache of the medium hierarchy under the
+// supported ECC schemes.
+func VminStudy() VminStudyResult {
+	h := config.NewHierarchy(config.Medium, config.SharedL1, 16)
+	caches := []struct {
+		level string
+		bytes int
+	}{
+		{"L1 (16KB private)", 16 << 10},
+		{"L1 (256KB shared)", h.L1D.SizeBytes},
+		{"L2 (16MB cluster)", h.L2.SizeBytes},
+		{"L3 (48MB chip)", h.L3.SizeBytes},
+	}
+	var out VminStudyResult
+	for _, c := range caches {
+		for _, scheme := range []reliability.ECC{reliability.NoECC, reliability.SECDED, reliability.DECTED} {
+			out.Rows = append(out.Rows, VminRow{
+				Level:    c.level,
+				Capacity: c.bytes,
+				Scheme:   scheme,
+				VminSRAM: reliability.MinSafeVdd(config.SRAM, c.bytes, scheme, reliability.DefaultTargetYield),
+				YieldAtNT: reliability.CacheYield(config.SRAM, c.bytes,
+					config.CoreNTVdd, scheme),
+				YieldAtRail: reliability.CacheYield(config.SRAM, c.bytes,
+					config.SRAMSafeVdd, scheme),
+			})
+		}
+	}
+	return out
+}
+
+// RailIsSafe reports whether the baseline's 0.65 V rail clears every
+// array with SECDED.
+func (v VminStudyResult) RailIsSafe() bool {
+	for _, r := range v.Rows {
+		if r.Scheme == reliability.SECDED && r.VminSRAM > config.SRAMSafeVdd {
+			return false
+		}
+	}
+	return true
+}
+
+// NTIsUnusable reports whether SRAM at the 0.4 V core rail fails the
+// yield bar for every array even with SECDED — the paper's claim that
+// NT-voltage SRAM caches are unusable without heroic measures.
+func (v VminStudyResult) NTIsUnusable() bool {
+	for _, r := range v.Rows {
+		if r.Scheme == reliability.SECDED && r.YieldAtNT >= reliability.DefaultTargetYield {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the study.
+func (v VminStudyResult) Render() string {
+	t := report.NewTable(
+		"SRAM minimum safe voltage by array and ECC scheme (99% yield; STT-RAM has no voltage floor)",
+		"array", "ECC", "Vmin", "yield @0.40V", "yield @0.65V")
+	for _, r := range v.Rows {
+		vmin := fmt.Sprintf("%.2fV", r.VminSRAM)
+		if math.IsInf(r.VminSRAM, 1) {
+			vmin = ">1.0V"
+		}
+		t.AddRow(r.Level, r.Scheme.String(), vmin,
+			fmt.Sprintf("%.2e", r.YieldAtNT),
+			fmt.Sprintf("%.4f", r.YieldAtRail))
+	}
+	return t.String()
+}

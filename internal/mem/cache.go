@@ -1,0 +1,282 @@
+// Package mem implements the storage structures of the simulated memory
+// hierarchy: set-associative cache arrays with true-LRU replacement and a
+// fixed-latency DRAM model. The arrays store only tags and small state
+// bytes — the simulator is a timing model, so no data payloads exist.
+//
+// Addresses are byte addresses; each cache derives its own block and set
+// decomposition from its config.CacheParams. Set counts need not be
+// powers of two (the 48 MB L3 has 3x2^k sets); indexing uses modulo.
+package mem
+
+import (
+	"fmt"
+
+	"respin/internal/config"
+	"respin/internal/stats"
+)
+
+// LineState is an opaque per-line state byte. The mem package only
+// distinguishes StateInvalid from everything else; richer protocols
+// (MESI) layer their states on top.
+type LineState uint8
+
+// Line states used by plain (non-coherent) caches. Coherence protocols
+// define additional states in their own packages.
+const (
+	// StateInvalid marks an empty way.
+	StateInvalid LineState = 0
+	// StateValid marks a clean valid line.
+	StateValid LineState = 1
+	// StateDirty marks a modified line that needs writeback on
+	// eviction.
+	StateDirty LineState = 2
+)
+
+type way struct {
+	tag   uint64 // block address (addr >> blockShift)
+	state LineState
+	used  uint64 // LRU timestamp
+}
+
+// AccessResult reports the outcome of a cache access or fill.
+type AccessResult struct {
+	// Hit is true when the block was present.
+	Hit bool
+	// Evicted is true when a valid line was displaced.
+	Evicted bool
+	// EvictedAddr is the byte address of the displaced block.
+	EvictedAddr uint64
+	// EvictedState is the state the displaced line held.
+	EvictedState LineState
+	// Writeback is true when the displaced line was dirty.
+	Writeback bool
+}
+
+// Stats aggregates cache event counts.
+type Stats struct {
+	Reads, Writes       stats.Counter
+	ReadMisses          stats.Counter
+	WriteMisses         stats.Counter
+	Evictions           stats.Counter
+	Writebacks          stats.Counter
+	Invalidations       stats.Counter
+	InvalidationsDirty  stats.Counter
+	FillsFromLowerLevel stats.Counter
+}
+
+// MissRate returns combined read+write miss rate.
+func (s *Stats) MissRate() float64 {
+	total := s.Reads.Value() + s.Writes.Value()
+	return stats.Ratio(s.ReadMisses.Value()+s.WriteMisses.Value(), total)
+}
+
+// Cache is a set-associative tag array with true LRU replacement.
+type Cache struct {
+	params     config.CacheParams
+	sets       []way // numSets * assoc, laid out set-major
+	assoc      int
+	numSets    uint64
+	blockShift uint
+	tick       uint64
+	Stats      Stats
+}
+
+// NewCache builds a cache from validated geometry parameters.
+func NewCache(p config.CacheParams) *Cache {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("mem: invalid cache params: %v", err))
+	}
+	shift := uint(0)
+	for 1<<shift < p.BlockBytes {
+		shift++
+	}
+	if 1<<shift != p.BlockBytes {
+		panic(fmt.Sprintf("mem: block size %d not a power of two", p.BlockBytes))
+	}
+	sets := p.Sets()
+	return &Cache{
+		params:     p,
+		sets:       make([]way, sets*p.Assoc),
+		assoc:      p.Assoc,
+		numSets:    uint64(sets),
+		blockShift: shift,
+	}
+}
+
+// Params returns the cache geometry.
+func (c *Cache) Params() config.CacheParams { return c.params }
+
+// BlockAddr returns the block-aligned identifier for a byte address.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift }
+
+// setIndex maps a block address to its set.
+func (c *Cache) setIndex(block uint64) uint64 { return block % c.numSets }
+
+// find returns the way slice of the set and the index of the block
+// within it, or -1.
+func (c *Cache) find(block uint64) ([]way, int) {
+	si := c.setIndex(block)
+	set := c.sets[si*uint64(c.assoc) : (si+1)*uint64(c.assoc)]
+	for i := range set {
+		if set[i].state != StateInvalid && set[i].tag == block {
+			return set, i
+		}
+	}
+	return set, -1
+}
+
+// Contains probes for a block without updating LRU or stats.
+func (c *Cache) Contains(addr uint64) bool {
+	_, i := c.find(c.BlockAddr(addr))
+	return i >= 0
+}
+
+// State returns the line state of a block (StateInvalid if absent),
+// without updating LRU or stats.
+func (c *Cache) State(addr uint64) LineState {
+	set, i := c.find(c.BlockAddr(addr))
+	if i < 0 {
+		return StateInvalid
+	}
+	return set[i].state
+}
+
+// Access performs a read or write lookup. On a hit the LRU stamp is
+// refreshed and, for writes, the line becomes dirty. On a miss nothing
+// is allocated — callers model the miss path and then Fill.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	block := c.BlockAddr(addr)
+	c.tick++
+	if write {
+		c.Stats.Writes.Inc()
+	} else {
+		c.Stats.Reads.Inc()
+	}
+	set, i := c.find(block)
+	if i < 0 {
+		if write {
+			c.Stats.WriteMisses.Inc()
+		} else {
+			c.Stats.ReadMisses.Inc()
+		}
+		return AccessResult{}
+	}
+	set[i].used = c.tick
+	if write {
+		set[i].state = StateDirty
+	}
+	return AccessResult{Hit: true}
+}
+
+// Fill allocates a block (after a miss was serviced by the next level),
+// evicting the LRU way if the set is full. When dirty is true the new
+// line is installed in StateDirty (write-allocate stores).
+func (c *Cache) Fill(addr uint64, dirty bool) AccessResult {
+	st := StateValid
+	if dirty {
+		st = StateDirty
+	}
+	return c.FillState(addr, st)
+}
+
+// FillState allocates a block with an explicit protocol state.
+func (c *Cache) FillState(addr uint64, st LineState) AccessResult {
+	if st == StateInvalid {
+		panic("mem: cannot fill with StateInvalid")
+	}
+	block := c.BlockAddr(addr)
+	c.tick++
+	c.Stats.FillsFromLowerLevel.Inc()
+	set, i := c.find(block)
+	if i >= 0 {
+		// Refill of a present block just updates state.
+		set[i].state = st
+		set[i].used = c.tick
+		return AccessResult{Hit: true}
+	}
+	victim := 0
+	for j := 1; j < len(set); j++ {
+		if set[j].state == StateInvalid {
+			victim = j
+			break
+		}
+		if set[victim].state != StateInvalid && set[j].used < set[victim].used {
+			victim = j
+		}
+	}
+	res := AccessResult{}
+	if set[victim].state != StateInvalid {
+		res.Evicted = true
+		res.EvictedAddr = set[victim].tag << c.blockShift
+		res.EvictedState = set[victim].state
+		res.Writeback = set[victim].state == StateDirty
+		c.Stats.Evictions.Inc()
+		if res.Writeback {
+			c.Stats.Writebacks.Inc()
+		}
+	}
+	set[victim] = way{tag: block, state: st, used: c.tick}
+	return res
+}
+
+// SetState overwrites the protocol state of a present block and reports
+// whether it was present.
+func (c *Cache) SetState(addr uint64, st LineState) bool {
+	if st == StateInvalid {
+		return c.Invalidate(addr).Hit
+	}
+	set, i := c.find(c.BlockAddr(addr))
+	if i < 0 {
+		return false
+	}
+	set[i].state = st
+	return true
+}
+
+// Invalidate removes a block. The result reports presence and whether
+// the invalidated line was dirty (Writeback set).
+func (c *Cache) Invalidate(addr uint64) AccessResult {
+	set, i := c.find(c.BlockAddr(addr))
+	if i < 0 {
+		return AccessResult{}
+	}
+	dirty := set[i].state == StateDirty
+	c.Stats.Invalidations.Inc()
+	if dirty {
+		c.Stats.InvalidationsDirty.Inc()
+	}
+	set[i].state = StateInvalid
+	return AccessResult{Hit: true, Writeback: dirty}
+}
+
+// Occupancy returns the number of valid lines (O(size); for tests and
+// reports only).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].state != StateInvalid {
+			n++
+		}
+	}
+	return n
+}
+
+// Capacity returns the total number of ways in the array.
+func (c *Cache) Capacity() int { return len(c.sets) }
+
+// Clear invalidates every line (used when a core is power-gated and its
+// private caches lose their content). Dirty lines are counted as
+// writebacks and the count returned.
+func (c *Cache) Clear() (writebacks int) {
+	for i := range c.sets {
+		if c.sets[i].state == StateDirty {
+			writebacks++
+			c.Stats.Writebacks.Inc()
+		}
+		if c.sets[i].state != StateInvalid {
+			c.sets[i].state = StateInvalid
+			c.Stats.Invalidations.Inc()
+		}
+	}
+	return writebacks
+}

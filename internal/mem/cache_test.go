@@ -1,0 +1,279 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"respin/internal/config"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways x 32B blocks = 256 B.
+	return NewCache(config.CacheParams{SizeBytes: 256, BlockBytes: 32, Assoc: 2, ReadPorts: 1, WritePorts: 1})
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := smallCache()
+	if r := c.Access(0x100, false); r.Hit {
+		t.Fatal("cold cache should miss")
+	}
+	if c.Stats.ReadMisses.Value() != 1 {
+		t.Fatal("read miss not counted")
+	}
+	c.Fill(0x100, false)
+	if r := c.Access(0x100, false); !r.Hit {
+		t.Fatal("filled block should hit")
+	}
+	// Same block, different byte offset hits too.
+	if r := c.Access(0x11f, false); !r.Hit {
+		t.Fatal("same-block offset should hit")
+	}
+	// Next block misses.
+	if r := c.Access(0x120, false); r.Hit {
+		t.Fatal("neighbouring block should miss")
+	}
+}
+
+func TestWriteMakesDirtyAndWritebackOnEvict(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x0, false)
+	c.Access(0x0, true) // dirty it
+	if st := c.State(0x0); st != StateDirty {
+		t.Fatalf("state = %d, want dirty", st)
+	}
+	// Two more blocks mapping to set 0 (block addr multiples of 4 sets * 32B = 128B).
+	c.Fill(0x200, false) // set 0 (0x200/32 = 16, 16%4 = 0)
+	r := c.Fill(0x400, false)
+	if !r.Evicted || !r.Writeback || r.EvictedAddr != 0x0 {
+		t.Fatalf("expected dirty eviction of 0x0, got %+v", r)
+	}
+	if c.Stats.Writebacks.Value() != 1 {
+		t.Fatal("writeback not counted")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x000, false) // set 0
+	c.Fill(0x200, false) // set 0 — set full now
+	c.Access(0x000, false)
+	// 0x200 is now LRU; filling a third block must evict it.
+	r := c.Fill(0x400, false)
+	if !r.Evicted || r.EvictedAddr != 0x200 {
+		t.Fatalf("LRU eviction chose %#x, want 0x200", r.EvictedAddr)
+	}
+	if !c.Contains(0x000) || c.Contains(0x200) || !c.Contains(0x400) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestFillPrefersInvalidWay(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x000, false)
+	r := c.Fill(0x200, false)
+	if r.Evicted {
+		t.Fatal("fill into half-empty set must not evict")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x40, true) // dirty fill
+	r := c.Invalidate(0x40)
+	if !r.Hit || !r.Writeback {
+		t.Fatalf("invalidate dirty = %+v, want hit+writeback", r)
+	}
+	if c.Contains(0x40) {
+		t.Fatal("block still present after invalidate")
+	}
+	if r := c.Invalidate(0x40); r.Hit {
+		t.Fatal("second invalidate should miss")
+	}
+	if c.Stats.Invalidations.Value() != 1 || c.Stats.InvalidationsDirty.Value() != 1 {
+		t.Fatal("invalidation counters wrong")
+	}
+}
+
+func TestSetStateAndState(t *testing.T) {
+	c := smallCache()
+	const exclusive = LineState(4) // protocol-defined state
+	c.FillState(0x80, exclusive)
+	if st := c.State(0x80); st != exclusive {
+		t.Fatalf("state = %d, want %d", st, exclusive)
+	}
+	if !c.SetState(0x80, StateValid) {
+		t.Fatal("SetState on present block returned false")
+	}
+	if st := c.State(0x80); st != StateValid {
+		t.Fatalf("state = %d, want valid", st)
+	}
+	if c.SetState(0x999000, StateValid) {
+		t.Fatal("SetState on absent block returned true")
+	}
+	// SetState to invalid routes through Invalidate.
+	if !c.SetState(0x80, StateInvalid) {
+		t.Fatal("SetState(invalid) on present block returned false")
+	}
+	if c.Contains(0x80) {
+		t.Fatal("block present after SetState(invalid)")
+	}
+}
+
+func TestRefillUpdatesState(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x40, false)
+	r := c.Fill(0x40, true)
+	if !r.Hit || r.Evicted {
+		t.Fatalf("refill = %+v, want hit, no eviction", r)
+	}
+	if st := c.State(0x40); st != StateDirty {
+		t.Fatalf("state after dirty refill = %d, want dirty", st)
+	}
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	// 3 x 2^k sets, like the 48 MB L3.
+	p := config.CacheParams{SizeBytes: 3 * 1024, BlockBytes: 32, Assoc: 4, ReadPorts: 1, WritePorts: 1}
+	c := NewCache(p)
+	if c.numSets != 24 {
+		t.Fatalf("sets = %d, want 24", c.numSets)
+	}
+	// Fill more blocks than capacity; all recent ones must be found.
+	for i := uint64(0); i < 96; i++ {
+		c.Fill(i*32, false)
+	}
+	if c.Occupancy() != c.Capacity() {
+		t.Fatalf("occupancy %d != capacity %d after saturation", c.Occupancy(), c.Capacity())
+	}
+}
+
+func TestOccupancyAndCapacity(t *testing.T) {
+	c := smallCache()
+	if c.Capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", c.Capacity())
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("fresh cache not empty")
+	}
+	c.Fill(0, false)
+	c.Fill(32, false)
+	if c.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2", c.Occupancy())
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := smallCache()
+	c.Access(0, false) // miss
+	c.Fill(0, false)
+	c.Access(0, false) // hit
+	c.Access(0, true)  // hit
+	c.Access(64, true) // miss
+	if got := c.Stats.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+	var empty Stats
+	if empty.MissRate() != 0 {
+		t.Fatal("empty stats miss rate should be 0")
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("invalid params", func() {
+		NewCache(config.CacheParams{SizeBytes: -1, BlockBytes: 32, Assoc: 2, ReadPorts: 1, WritePorts: 1})
+	})
+	mustPanic("non-pow2 block", func() {
+		NewCache(config.CacheParams{SizeBytes: 240, BlockBytes: 24, Assoc: 2, ReadPorts: 1, WritePorts: 1})
+	})
+	mustPanic("fill invalid state", func() {
+		smallCache().FillState(0, StateInvalid)
+	})
+}
+
+// TestInclusionProperty: after any access sequence, a block that was
+// filled and never evicted/invalidated must still be present.
+func TestFillConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(config.CacheParams{SizeBytes: 2048, BlockBytes: 32, Assoc: 4, ReadPorts: 1, WritePorts: 1})
+		present := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Intn(64)) * 32
+			switch rng.Intn(3) {
+			case 0:
+				r := c.Access(addr, rng.Intn(2) == 0)
+				if r.Hit != present[c.BlockAddr(addr)] {
+					return false
+				}
+			case 1:
+				r := c.Fill(addr, false)
+				present[c.BlockAddr(addr)] = true
+				if r.Evicted {
+					delete(present, c.BlockAddr(r.EvictedAddr))
+				}
+			case 2:
+				r := c.Invalidate(addr)
+				if r.Hit != present[c.BlockAddr(addr)] {
+					return false
+				}
+				delete(present, c.BlockAddr(addr))
+			}
+		}
+		// All tracked blocks must still be present.
+		for b := range present {
+			if !c.Contains(b << 5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAM(t *testing.T) {
+	d := NewDRAM()
+	lat := d.Access()
+	if lat != DefaultDRAMLatencyPS {
+		t.Fatalf("latency = %d, want %d", lat, DefaultDRAMLatencyPS)
+	}
+	if d.Accesses.Value() != 1 {
+		t.Fatal("access not counted")
+	}
+	if got := d.LatencyCacheCycles(); got != 150 {
+		t.Fatalf("cycles = %d, want 150", got)
+	}
+	d.LatencyPS = 401
+	if got := d.LatencyCacheCycles(); got != 2 {
+		t.Fatalf("cycles = %d, want 2 (round up)", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := smallCache()
+	c.Fill(0, true) // dirty
+	c.Fill(32, false)
+	c.Fill(64, false)
+	wbs := c.Clear()
+	if wbs != 1 {
+		t.Fatalf("Clear writebacks = %d, want 1", wbs)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatalf("occupancy = %d after Clear, want 0", c.Occupancy())
+	}
+	// Idempotent.
+	if c.Clear() != 0 {
+		t.Fatal("second Clear found lines")
+	}
+}

@@ -1,0 +1,31 @@
+package mem
+
+import "respin/internal/stats"
+
+// DRAM is the fixed-latency main-memory model. Bandwidth is assumed
+// sufficient for the NT chip's modest demand (the paper's SESC setup
+// likewise reports no memory-bandwidth bottleneck at NT frequencies).
+type DRAM struct {
+	// LatencyPS is the access latency in picoseconds.
+	LatencyPS int64
+	// Accesses counts reads and writebacks reaching memory.
+	Accesses stats.Counter
+}
+
+// DefaultDRAMLatencyPS is a 60 ns DDR access (150 cache cycles).
+const DefaultDRAMLatencyPS = 60_000
+
+// NewDRAM returns a DRAM model with the default latency.
+func NewDRAM() *DRAM { return &DRAM{LatencyPS: DefaultDRAMLatencyPS} }
+
+// Access records one memory access and returns its latency in ps.
+func (d *DRAM) Access() int64 {
+	d.Accesses.Inc()
+	return d.LatencyPS
+}
+
+// LatencyCacheCycles returns the latency in whole shared-cache cycles.
+func (d *DRAM) LatencyCacheCycles() int {
+	const cachePeriodPS = 400
+	return int((d.LatencyPS + cachePeriodPS - 1) / cachePeriodPS)
+}

@@ -1,0 +1,355 @@
+// Package power is the McPAT-equivalent power and energy model.
+//
+// It provides (a) per-instruction core dynamic energy and per-core leakage
+// power with voltage scaling, (b) per-access cache energies derived from
+// the package tech array models plus McPAT-style peripheral/interconnect
+// ("wire") energy, (c) a chip-level leakage aggregator, and (d) the
+// energy Meter the simulator uses to integrate power over time.
+//
+// # Calibration
+//
+// Absolute constants are pinned to the paper's Figure 1 anchors for a
+// 64-core CMP with the medium cache hierarchy:
+//
+//   - at nominal voltage (1.0 V, 2.5 GHz) dynamic power is ~60% of chip
+//     power, with core leakage ~26% and the caches contributing roughly
+//     equal leakage and dynamic shares;
+//   - at near-threshold (cores 0.4 V / ~500 MHz, SRAM caches 0.65 V)
+//     leakage dominates at ~75% of chip power, with caches responsible
+//     for about half of that leakage.
+//
+// Scaling laws: dynamic energy scales with Vdd^2; cache array leakage is
+// linear in Vdd (both laws are exactly what Table III's value pairs
+// imply); core logic leakage follows V * e^(k(V-1)) — linear-in-V with a
+// DIBL correction calibrated so the NT/HP energy relationship
+// of Figure 9 (HP-SRAM-CMP ~ +40% energy vs the NT baseline) holds.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"respin/internal/config"
+	"respin/internal/tech"
+)
+
+// Params holds the calibration constants of the power model.
+type Params struct {
+	// CoreDynEPIpJ is the dynamic energy per committed instruction of
+	// one core at nominal voltage (pJ). Scales with Vdd^2.
+	CoreDynEPIpJ float64
+	// CoreLeakWNominal is the leakage power of one core at nominal
+	// voltage (W).
+	CoreLeakWNominal float64
+	// CoreLeakDIBLK is the DIBL correction exponent k in
+	// leak(V) = leak(1V) * V * e^(k(V-1)).
+	CoreLeakDIBLK float64
+	// GatedLeakFraction is the residual leakage of a power-gated core
+	// relative to its active leakage.
+	GatedLeakFraction float64
+	// WireL1PrivatePJ, WireL1SharedPJ, WireL2PJ, WireL3PJ are the
+	// McPAT-style peripheral + interconnect energies added to each
+	// array access at the respective level, at nominal voltage
+	// (Vdd^2-scaled). Shared L1s span a whole cluster and pay slightly
+	// longer wires.
+	WireL1PrivatePJ, WireL1SharedPJ, WireL2PJ, WireL3PJ float64
+	// LevelShifterPJ is the energy of one voltage-domain crossing.
+	LevelShifterPJ float64
+	// StaticIPC is the per-core IPC assumed by the analytic
+	// EstimateBreakdown (Figure 1 is a modeled, not simulated, figure).
+	StaticIPC float64
+	// L1IAccessPerInstr and L1DAccessPerInstr are the analytic access
+	// rates used by EstimateBreakdown.
+	L1IAccessPerInstr, L1DAccessPerInstr float64
+}
+
+// DefaultParams returns the Figure 1 calibration.
+func DefaultParams() Params {
+	return Params{
+		CoreDynEPIpJ:      667,
+		CoreLeakWNominal:  1.131,
+		CoreLeakDIBLK:     0.578,
+		GatedLeakFraction: 0.05,
+		WireL1PrivatePJ:   180,
+		WireL1SharedPJ:    300,
+		WireL2PJ:          500,
+		WireL3PJ:          1000,
+		LevelShifterPJ:    1.2,
+		StaticIPC:         1.2,
+		L1IAccessPerInstr: 0.50,
+		L1DAccessPerInstr: 0.35,
+	}
+}
+
+// DynScale returns the dynamic-energy scaling factor for a supply
+// voltage, relative to nominal: (V/Vnom)^2.
+func DynScale(vdd float64) float64 {
+	r := vdd / config.NominalVdd
+	return r * r
+}
+
+// CoreLeakWatts returns one core's leakage power at the given supply.
+func (p Params) CoreLeakWatts(vdd float64) float64 {
+	return p.CoreLeakWNominal * vdd / config.NominalVdd *
+		math.Exp(p.CoreLeakDIBLK*(vdd-config.NominalVdd))
+}
+
+// CoreEPIpJ returns one core's dynamic energy per instruction at the
+// given supply.
+func (p Params) CoreEPIpJ(vdd float64) float64 {
+	return p.CoreDynEPIpJ * DynScale(vdd)
+}
+
+// CacheEnergies holds per-access dynamic energies (pJ) for every level
+// at the configuration's cache voltage, wire energy included.
+type CacheEnergies struct {
+	L1IRead, L1IWrite float64
+	L1DRead, L1DWrite float64
+	L2Read, L2Write   float64
+	L3Read, L3Write   float64
+}
+
+// CacheLatencies holds array access latencies in whole cache cycles.
+type CacheLatencies struct {
+	L1Read, L1Write int
+	L2Read, L2Write int
+	L3Read, L3Write int
+}
+
+// Chip bundles everything the simulator needs to turn events into energy
+// for one configuration: leakage powers, per-access energies and
+// latencies at the configured rails.
+type Chip struct {
+	Params Params
+	Config config.Config
+	// CoreLeakW is the leakage of one active core at the core rail.
+	CoreLeakW float64
+	// CoreGatedLeakW is the residual leakage of a power-gated core.
+	CoreGatedLeakW float64
+	// CoreEPIpJ is the dynamic energy per committed instruction.
+	CoreEPIpJ float64
+	// CacheLeakW is the chip-wide cache leakage at the cache rail.
+	CacheLeakW float64
+	// Energies are per-access cache energies at the cache rail.
+	Energies CacheEnergies
+	// Latencies are per-level access latencies in cache cycles.
+	Latencies CacheLatencies
+	// ShifterPJ is the per-crossing level-shifter energy (zero when
+	// core and cache rails are the same).
+	ShifterPJ float64
+}
+
+// NewChip derives the power model for a configuration.
+func NewChip(cfg config.Config) *Chip {
+	return NewChipWithParams(cfg, DefaultParams())
+}
+
+// NewChipWithParams is NewChip with explicit calibration constants.
+func NewChipWithParams(cfg config.Config, p Params) *Chip {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("power: invalid config: %v", err))
+	}
+	h := cfg.Hierarchy
+	l1i := tech.New(cfg.Tech, h.L1I.SizeBytes, cfg.CacheVdd)
+	l1d := tech.New(cfg.Tech, h.L1D.SizeBytes, cfg.CacheVdd)
+	l2 := tech.New(cfg.Tech, h.L2.SizeBytes, cfg.CacheVdd).Apply(tech.L2Derate)
+	l3 := tech.New(cfg.Tech, h.L3.SizeBytes, cfg.CacheVdd).Apply(tech.L3Derate)
+
+	wireL1 := p.WireL1PrivatePJ
+	if cfg.L1 == config.SharedL1 {
+		wireL1 = p.WireL1SharedPJ
+	}
+	vs := DynScale(cfg.CacheVdd)
+
+	chip := &Chip{
+		Params:         p,
+		Config:         cfg,
+		CoreLeakW:      p.CoreLeakWatts(cfg.CoreVdd),
+		CoreEPIpJ:      p.CoreEPIpJ(cfg.CoreVdd),
+		CacheLeakW:     chipCacheLeakW(cfg, l1i, l1d, l2, l3),
+		CoreGatedLeakW: p.CoreLeakWatts(cfg.CoreVdd) * p.GatedLeakFraction,
+		Energies: CacheEnergies{
+			L1IRead:  l1i.ReadEnergyPJ + wireL1*vs,
+			L1IWrite: l1i.WriteEnergyPJ + wireL1*vs,
+			L1DRead:  l1d.ReadEnergyPJ + wireL1*vs,
+			L1DWrite: l1d.WriteEnergyPJ + wireL1*vs,
+			L2Read:   l2.ReadEnergyPJ + p.WireL2PJ*vs,
+			L2Write:  l2.WriteEnergyPJ + p.WireL2PJ*vs,
+			L3Read:   l3.ReadEnergyPJ + p.WireL3PJ*vs,
+			L3Write:  l3.WriteEnergyPJ + p.WireL3PJ*vs,
+		},
+		Latencies: CacheLatencies{
+			L1Read:  l1d.ReadLatencyCacheCycles(),
+			L1Write: l1d.WriteLatencyCacheCycles(),
+			L2Read:  l2.ReadLatencyCacheCycles(),
+			L2Write: l2.WriteLatencyCacheCycles(),
+			L3Read:  l3.ReadLatencyCacheCycles(),
+			L3Write: l3.WriteLatencyCacheCycles(),
+		},
+	}
+	if cfg.CacheVdd != cfg.CoreVdd {
+		chip.ShifterPJ = p.LevelShifterPJ
+	}
+	return chip
+}
+
+// chipCacheLeakW sums cache leakage across the chip.
+func chipCacheLeakW(cfg config.Config, l1i, l1d, l2, l3 tech.Model) float64 {
+	nClusters := float64(cfg.NumClusters())
+	l1Count := nClusters
+	if cfg.L1 == config.PrivateL1 {
+		l1Count = float64(cfg.NumCores)
+	}
+	return l1Count*(l1i.LeakageWatts()+l1d.LeakageWatts()) +
+		nClusters*l2.LeakageWatts() +
+		l3.LeakageWatts()
+}
+
+// Component identifies an energy sink tracked by the Meter.
+type Component int
+
+// Meter components.
+const (
+	CoreDynamic Component = iota
+	CoreLeakage
+	CacheDynamic
+	CacheLeakage
+	Shifter
+	numComponents
+)
+
+// String returns the component name.
+func (c Component) String() string {
+	switch c {
+	case CoreDynamic:
+		return "core-dynamic"
+	case CoreLeakage:
+		return "core-leakage"
+	case CacheDynamic:
+		return "cache-dynamic"
+	case CacheLeakage:
+		return "cache-leakage"
+	case Shifter:
+		return "level-shifter"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Meter accumulates energy per component in picojoules. The convenient
+// identity 1 W x 1 ps = 1 pJ makes leakage integration exact:
+// AddLeakage(watts, picoseconds) adds watts*picoseconds pJ.
+type Meter struct {
+	pj [numComponents]float64
+}
+
+// AddPJ adds pj picojoules to the component.
+func (m *Meter) AddPJ(c Component, pj float64) { m.pj[c] += pj }
+
+// AddLeakage integrates a leakage power over a duration.
+func (m *Meter) AddLeakage(c Component, watts float64, ps int64) {
+	m.pj[c] += watts * float64(ps)
+}
+
+// PJ returns the accumulated energy of one component.
+func (m *Meter) PJ(c Component) float64 { return m.pj[c] }
+
+// TotalPJ returns the total accumulated energy.
+func (m *Meter) TotalPJ() float64 {
+	var sum float64
+	for _, v := range m.pj {
+		sum += v
+	}
+	return sum
+}
+
+// DynamicPJ returns the dynamic (non-leakage) energy.
+func (m *Meter) DynamicPJ() float64 {
+	return m.pj[CoreDynamic] + m.pj[CacheDynamic] + m.pj[Shifter]
+}
+
+// LeakagePJ returns the leakage energy.
+func (m *Meter) LeakagePJ() float64 {
+	return m.pj[CoreLeakage] + m.pj[CacheLeakage]
+}
+
+// Add merges another meter into this one.
+func (m *Meter) Add(other *Meter) {
+	for i := range m.pj {
+		m.pj[i] += other.pj[i]
+	}
+}
+
+// Sub returns the difference m - other, component-wise.
+func (m *Meter) Sub(other *Meter) Meter {
+	var out Meter
+	for i := range m.pj {
+		out.pj[i] = m.pj[i] - other.pj[i]
+	}
+	return out
+}
+
+// Reset clears the meter.
+func (m *Meter) Reset() { m.pj = [numComponents]float64{} }
+
+// AvgPowerW returns average power over a duration in ps.
+func (m *Meter) AvgPowerW(ps int64) float64 {
+	if ps <= 0 {
+		return 0
+	}
+	return m.TotalPJ() / float64(ps)
+}
+
+// Breakdown is a chip-level steady-state power decomposition (watts), as
+// plotted in Figure 1.
+type Breakdown struct {
+	CoreDynW, CoreLeakW, CacheDynW, CacheLeakW float64
+}
+
+// TotalW returns the total power.
+func (b Breakdown) TotalW() float64 {
+	return b.CoreDynW + b.CoreLeakW + b.CacheDynW + b.CacheLeakW
+}
+
+// LeakFraction returns leakage as a fraction of total power.
+func (b Breakdown) LeakFraction() float64 {
+	t := b.TotalW()
+	if t == 0 {
+		return 0
+	}
+	return (b.CoreLeakW + b.CacheLeakW) / t
+}
+
+// CacheLeakShareOfLeak returns the cache contribution to leakage power.
+func (b Breakdown) CacheLeakShareOfLeak() float64 {
+	l := b.CoreLeakW + b.CacheLeakW
+	if l == 0 {
+		return 0
+	}
+	return b.CacheLeakW / l
+}
+
+// EstimateBreakdown computes the analytic Figure 1 style steady-state
+// power decomposition for a configuration, assuming every core commits
+// instructions at the given frequency and the model's StaticIPC, with
+// the analytic L1 access rates. Lower-level traffic is neglected (it is
+// a second-order term at this granularity, as in the paper's figure).
+func EstimateBreakdown(cfg config.Config, coreFreqGHz float64) Breakdown {
+	return EstimateBreakdownWithParams(cfg, coreFreqGHz, DefaultParams())
+}
+
+// EstimateBreakdownWithParams is EstimateBreakdown with explicit
+// calibration constants.
+func EstimateBreakdownWithParams(cfg config.Config, coreFreqGHz float64, p Params) Breakdown {
+	chip := NewChipWithParams(cfg, p)
+	instrPerSec := coreFreqGHz * 1e9 * p.StaticIPC * float64(cfg.NumCores)
+	accessPerInstr := p.L1IAccessPerInstr + p.L1DAccessPerInstr
+	l1AccessEnergy := (chip.Energies.L1IRead*p.L1IAccessPerInstr +
+		chip.Energies.L1DRead*p.L1DAccessPerInstr) / accessPerInstr
+	return Breakdown{
+		CoreDynW:   instrPerSec * chip.CoreEPIpJ * 1e-12,
+		CoreLeakW:  float64(cfg.NumCores) * chip.CoreLeakW,
+		CacheDynW:  instrPerSec * accessPerInstr * l1AccessEnergy * 1e-12,
+		CacheLeakW: chip.CacheLeakW,
+	}
+}

@@ -1,0 +1,279 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"respin/internal/config"
+)
+
+func TestDynScale(t *testing.T) {
+	if got := DynScale(1.0); got != 1.0 {
+		t.Errorf("DynScale(1.0) = %v, want 1", got)
+	}
+	if got := DynScale(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("DynScale(0.5) = %v, want 0.25", got)
+	}
+}
+
+func TestCoreLeakVoltageScaling(t *testing.T) {
+	p := DefaultParams()
+	nom := p.CoreLeakWatts(config.NominalVdd)
+	if math.Abs(nom-p.CoreLeakWNominal) > 1e-9 {
+		t.Errorf("nominal leak = %v, want %v", nom, p.CoreLeakWNominal)
+	}
+	nt := p.CoreLeakWatts(config.CoreNTVdd)
+	// With the DIBL correction, NT leakage is well below the linear
+	// V-scaling value but not vanishing.
+	if nt >= nom*config.CoreNTVdd {
+		t.Errorf("NT leak %v not below linear scaling %v", nt, nom*config.CoreNTVdd)
+	}
+	if nt <= 0.05*nom {
+		t.Errorf("NT leak %v implausibly low", nt)
+	}
+}
+
+func TestCoreEPIScaling(t *testing.T) {
+	p := DefaultParams()
+	ratio := p.CoreEPIpJ(config.CoreNTVdd) / p.CoreEPIpJ(config.NominalVdd)
+	if math.Abs(ratio-0.16) > 1e-9 {
+		t.Errorf("NT/nominal EPI ratio = %v, want 0.16 (V^2)", ratio)
+	}
+}
+
+func TestNewChipSHSTT(t *testing.T) {
+	chip := NewChip(config.New(config.SHSTT, config.Medium))
+	// Shared STT L1 read = 1 cache cycle (the paper's headline timing).
+	if chip.Latencies.L1Read != 1 {
+		t.Errorf("STT shared L1 read = %d cache cycles, want 1", chip.Latencies.L1Read)
+	}
+	// STT write ~5.2 ns -> well over 10 cache cycles.
+	if chip.Latencies.L1Write < 10 {
+		t.Errorf("STT L1 write = %d cache cycles, want >= 10", chip.Latencies.L1Write)
+	}
+	// Sensible level ordering.
+	if !(chip.Latencies.L1Read < chip.Latencies.L2Read && chip.Latencies.L2Read < chip.Latencies.L3Read) {
+		t.Errorf("latency ordering broken: %+v", chip.Latencies)
+	}
+	// Dual rail -> level shifting cost present.
+	if chip.ShifterPJ <= 0 {
+		t.Error("dual-rail config must pay level-shifter energy")
+	}
+	if chip.CoreGatedLeakW >= chip.CoreLeakW {
+		t.Error("gated leakage must be below active leakage")
+	}
+}
+
+func TestHPChipHasNoShifterCost(t *testing.T) {
+	chip := NewChip(config.New(config.HPSRAMCMP, config.Medium))
+	if chip.ShifterPJ != 0 {
+		t.Errorf("single-rail HP config has shifter energy %v, want 0", chip.ShifterPJ)
+	}
+}
+
+func TestPrivateSRAML1SingleCoreCycle(t *testing.T) {
+	// The PR-SRAM-NT private L1 at 0.65 V reads in 1337 ps, under one
+	// 1.6 ns core cycle — the baseline's single-cycle L1 assumption.
+	chip := NewChip(config.New(config.PRSRAMNT, config.Medium))
+	l1ps := float64(chip.Latencies.L1Read) * config.CachePeriodPS
+	if l1ps > 1600 {
+		t.Errorf("private SRAM L1 read = %.0f ps, want <= one 1.6ns core cycle", l1ps)
+	}
+}
+
+func TestCacheLeakOrdering(t *testing.T) {
+	stt := NewChip(config.New(config.SHSTT, config.Medium))
+	sramNom := NewChip(config.New(config.SHSRAMNom, config.Medium))
+	sramNT := NewChip(config.New(config.PRSRAMNT, config.Medium))
+	if !(stt.CacheLeakW < sramNT.CacheLeakW && sramNT.CacheLeakW < sramNom.CacheLeakW) {
+		t.Errorf("cache leakage ordering broken: STT %.2f, SRAM@0.65 %.2f, SRAM@1.0 %.2f",
+			stt.CacheLeakW, sramNT.CacheLeakW, sramNom.CacheLeakW)
+	}
+	// STT leakage should be several-fold below the nominal SRAM cache.
+	if sramNom.CacheLeakW/stt.CacheLeakW < 4 {
+		t.Errorf("SRAM@1.0/STT cache leak = %.2f, want >4",
+			sramNom.CacheLeakW/stt.CacheLeakW)
+	}
+}
+
+func TestCacheLeakGrowsWithScale(t *testing.T) {
+	var prev float64
+	for _, s := range []config.CacheScale{config.Small, config.Medium, config.Large} {
+		chip := NewChip(config.New(config.PRSRAMNT, s))
+		if chip.CacheLeakW <= prev {
+			t.Errorf("%v cache leak %.2f not above previous %.2f", s, chip.CacheLeakW, prev)
+		}
+		prev = chip.CacheLeakW
+	}
+}
+
+// TestFigure1NominalShape checks the nominal-voltage operating point:
+// dynamic power ~60% of the chip.
+func TestFigure1NominalShape(t *testing.T) {
+	b := EstimateBreakdown(config.New(config.HPSRAMCMP, config.Medium), 2.5)
+	t.Logf("nominal: coreDyn %.1fW coreLeak %.1fW cacheDyn %.1fW cacheLeak %.1fW total %.1fW leakFrac %.2f",
+		b.CoreDynW, b.CoreLeakW, b.CacheDynW, b.CacheLeakW, b.TotalW(), b.LeakFraction())
+	dyn := 1 - b.LeakFraction()
+	if dyn < 0.50 || dyn > 0.72 {
+		t.Errorf("nominal dynamic fraction = %.2f, want ~0.60", dyn)
+	}
+	coreLeakFrac := b.CoreLeakW / b.TotalW()
+	if coreLeakFrac < 0.15 || coreLeakFrac > 0.40 {
+		t.Errorf("nominal core leak fraction = %.2f, want ~0.26", coreLeakFrac)
+	}
+}
+
+// TestFigure1NTShape checks the near-threshold operating point: leakage
+// ~75% of chip power with caches responsible for about half of it.
+func TestFigure1NTShape(t *testing.T) {
+	b := EstimateBreakdown(config.New(config.PRSRAMNT, config.Medium), 0.5)
+	t.Logf("NT: coreDyn %.2fW coreLeak %.2fW cacheDyn %.2fW cacheLeak %.2fW total %.2fW leakFrac %.2f cacheShare %.2f",
+		b.CoreDynW, b.CoreLeakW, b.CacheDynW, b.CacheLeakW, b.TotalW(), b.LeakFraction(), b.CacheLeakShareOfLeak())
+	if lf := b.LeakFraction(); lf < 0.65 || lf > 0.88 {
+		t.Errorf("NT leak fraction = %.2f, want ~0.75", lf)
+	}
+	if cs := b.CacheLeakShareOfLeak(); cs < 0.35 || cs > 0.65 {
+		t.Errorf("NT cache share of leakage = %.2f, want ~0.5", cs)
+	}
+}
+
+// TestNTPowerFarBelowNominal: the motivation for NTC — order(s) of
+// magnitude power reduction.
+func TestNTPowerFarBelowNominal(t *testing.T) {
+	nom := EstimateBreakdown(config.New(config.HPSRAMCMP, config.Medium), 2.5)
+	nt := EstimateBreakdown(config.New(config.PRSRAMNT, config.Medium), 0.5)
+	ratio := nom.TotalW() / nt.TotalW()
+	if ratio < 4 {
+		t.Errorf("nominal/NT power ratio = %.1f, want >= 4", ratio)
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	var m Meter
+	m.AddPJ(CoreDynamic, 10)
+	m.AddPJ(CacheDynamic, 5)
+	m.AddPJ(Shifter, 1)
+	m.AddLeakage(CoreLeakage, 2.0, 3) // 2 W for 3 ps = 6 pJ
+	m.AddLeakage(CacheLeakage, 1.0, 4)
+	if got := m.PJ(CoreLeakage); got != 6 {
+		t.Errorf("leak pJ = %v, want 6", got)
+	}
+	if got := m.TotalPJ(); got != 26 {
+		t.Errorf("total = %v, want 26", got)
+	}
+	if got := m.DynamicPJ(); got != 16 {
+		t.Errorf("dynamic = %v, want 16", got)
+	}
+	if got := m.LeakagePJ(); got != 10 {
+		t.Errorf("leakage = %v, want 10", got)
+	}
+	if got := m.AvgPowerW(13); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("avg power = %v, want 2", got)
+	}
+	if got := m.AvgPowerW(0); got != 0 {
+		t.Errorf("avg power over 0 ps = %v, want 0", got)
+	}
+
+	var m2 Meter
+	m2.AddPJ(CoreDynamic, 4)
+	m.Add(&m2)
+	if got := m.PJ(CoreDynamic); got != 14 {
+		t.Errorf("after Add core dyn = %v, want 14", got)
+	}
+	d := m.Sub(&m2)
+	if got := d.PJ(CoreDynamic); got != 10 {
+		t.Errorf("Sub core dyn = %v, want 10", got)
+	}
+	m.Reset()
+	if m.TotalPJ() != 0 {
+		t.Error("reset meter not empty")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	names := map[Component]string{
+		CoreDynamic:  "core-dynamic",
+		CoreLeakage:  "core-leakage",
+		CacheDynamic: "cache-dynamic",
+		CacheLeakage: "cache-leakage",
+		Shifter:      "level-shifter",
+	}
+	for c, want := range names {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if Component(42).String() == "" {
+		t.Error("unknown component must stringify")
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	var zero Breakdown
+	if zero.LeakFraction() != 0 || zero.CacheLeakShareOfLeak() != 0 {
+		t.Error("zero breakdown should report zero fractions")
+	}
+	b := Breakdown{CoreDynW: 1, CoreLeakW: 2, CacheDynW: 3, CacheLeakW: 2}
+	if b.TotalW() != 8 {
+		t.Errorf("total = %v, want 8", b.TotalW())
+	}
+	if got := b.LeakFraction(); got != 0.5 {
+		t.Errorf("leak fraction = %v, want 0.5", got)
+	}
+	if got := b.CacheLeakShareOfLeak(); got != 0.5 {
+		t.Errorf("cache leak share = %v, want 0.5", got)
+	}
+}
+
+func TestNewChipPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid config")
+		}
+	}()
+	bad := config.New(config.SHSTT, config.Medium)
+	bad.NumCores = -1
+	NewChip(bad)
+}
+
+// Property: meter totals always equal the sum of the component parts.
+func TestMeterTotalsProperty(t *testing.T) {
+	f := func(a, b, c, d, e float64) bool {
+		abs := func(x float64) float64 { return math.Abs(math.Mod(x, 1e6)) }
+		var m Meter
+		m.AddPJ(CoreDynamic, abs(a))
+		m.AddPJ(CoreLeakage, abs(b))
+		m.AddPJ(CacheDynamic, abs(c))
+		m.AddPJ(CacheLeakage, abs(d))
+		m.AddPJ(Shifter, abs(e))
+		sum := abs(a) + abs(b) + abs(c) + abs(d) + abs(e)
+		return math.Abs(m.TotalPJ()-sum) < 1e-6 &&
+			math.Abs(m.DynamicPJ()+m.LeakagePJ()-sum) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnergiesPositive ensures every configuration yields positive
+// per-access energies with writes >= reads for STT.
+func TestEnergiesPositive(t *testing.T) {
+	for _, k := range config.AllArchKinds {
+		chip := NewChip(config.New(k, config.Medium))
+		e := chip.Energies
+		for name, v := range map[string]float64{
+			"L1IRead": e.L1IRead, "L1IWrite": e.L1IWrite,
+			"L1DRead": e.L1DRead, "L1DWrite": e.L1DWrite,
+			"L2Read": e.L2Read, "L2Write": e.L2Write,
+			"L3Read": e.L3Read, "L3Write": e.L3Write,
+		} {
+			if v <= 0 {
+				t.Errorf("%v: %s = %v, want > 0", k, name, v)
+			}
+		}
+		if chip.Config.Tech == config.STTRAM && e.L1DWrite <= e.L1DRead {
+			t.Errorf("%v: STT write energy %v not above read %v", k, e.L1DWrite, e.L1DRead)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package report renders experiment results as aligned ASCII tables and
+// simple textual charts, mirroring the paper's tables and figures well
+// enough to compare shapes side by side.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"respin/internal/stats"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a signed percentage ("-12.9%").
+func Pct(frac float64) string { return fmt.Sprintf("%+.1f%%", frac*100) }
+
+// PctU formats a fraction as an unsigned percentage ("12.9%").
+func PctU(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// Norm formats a value normalised to a baseline of 1.00.
+func Norm(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// Watts formats a power value.
+func Watts(w float64) string { return fmt.Sprintf("%.2f W", w) }
+
+// Joules formats an energy in picojoules with an adaptive unit.
+func Joules(pj float64) string {
+	switch {
+	case pj >= 1e12:
+		return fmt.Sprintf("%.3f J", pj*1e-12)
+	case pj >= 1e9:
+		return fmt.Sprintf("%.3f mJ", pj*1e-9)
+	case pj >= 1e6:
+		return fmt.Sprintf("%.3f uJ", pj*1e-6)
+	case pj >= 1e3:
+		return fmt.Sprintf("%.3f nJ", pj*1e-3)
+	default:
+		return fmt.Sprintf("%.1f pJ", pj)
+	}
+}
+
+// Millis formats picoseconds as milliseconds.
+func Millis(ps int64) string { return fmt.Sprintf("%.3f ms", float64(ps)*1e-9) }
+
+// HBar renders a horizontal bar of the given fractional length.
+func HBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Chart renders a labelled bar chart: one bar per (label, value), scaled
+// to the maximum value.
+func Chart(title string, labels []string, values []float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	maxv := 0.0
+	lw := 0
+	for i, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+		if i < len(values) && values[i] > maxv {
+			maxv = values[i]
+		}
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		frac := 0.0
+		if maxv > 0 {
+			frac = v / maxv
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.3f\n", lw, l, HBar(frac, width), v)
+	}
+	return b.String()
+}
+
+// Trace renders a time series as rows of "time value bar" — used for the
+// consolidation traces of Figures 12 and 13. Values are scaled to
+// [0, maxValue].
+func Trace(title string, ts *stats.TimeSeries, maxValue float64, maxRows, width int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	ds := ts.Downsample(maxRows)
+	for i := range ds.Values {
+		frac := 0.0
+		if maxValue > 0 {
+			frac = ds.Values[i] / maxValue
+		}
+		fmt.Fprintf(&b, "%10.3f ms |%s %4.1f\n", ds.Times[i]*1e-3, HBar(frac, width), ds.Values[i])
+	}
+	return b.String()
+}
+
+// Histogram renders a stats.Histogram as labelled percentage rows; the
+// labels slice names each bucket (last label covers overflow).
+func Histogram(title string, h *stats.Histogram, labels []string, width int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	for i, l := range labels {
+		f := h.Fraction(i)
+		fmt.Fprintf(&b, "%-*s |%s %5.1f%%\n", lw, l, HBar(f, width), f*100)
+	}
+	return b.String()
+}

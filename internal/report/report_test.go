@@ -1,0 +1,144 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"respin/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "22")
+	tab.AddRow("short") // padded
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	// All data rows align the second column at the same offset.
+	idx := strings.Index(lines[3], "1")
+	if idx < 0 {
+		t.Fatalf("value missing in %q", lines[3])
+	}
+	if lines[4][idx:idx+2] != "22" {
+		t.Errorf("misaligned columns:\n%s", s)
+	}
+	// Separator present.
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("missing separator: %q", lines[2])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow("x")
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("leading newline for empty title")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Pct(0.129), "+12.9%"},
+		{Pct(-0.021), "-2.1%"},
+		{PctU(0.958), "95.8%"},
+		{Norm(0.8899), "0.890"},
+		{Watts(12.345), "12.35 W"},
+		{Millis(1_000_000_000), "1.000 ms"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestJoulesUnits(t *testing.T) {
+	cases := []struct {
+		pj   float64
+		want string
+	}{
+		{1.5, "1.5 pJ"},
+		{1500, "1.500 nJ"},
+		{2.5e6, "2.500 uJ"},
+		{3.5e9, "3.500 mJ"},
+		{4.5e12, "4.500 J"},
+	}
+	for _, c := range cases {
+		if got := Joules(c.pj); got != c.want {
+			t.Errorf("Joules(%v) = %q, want %q", c.pj, got, c.want)
+		}
+	}
+}
+
+func TestHBar(t *testing.T) {
+	if got := HBar(0.5, 10); got != "#####....." {
+		t.Errorf("HBar(0.5) = %q", got)
+	}
+	if got := HBar(-1, 4); got != "...." {
+		t.Errorf("HBar(-1) = %q", got)
+	}
+	if got := HBar(2, 4); got != "####" {
+		t.Errorf("HBar(2) = %q", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	s := Chart("title", []string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart lines = %d, want 3", len(lines))
+	}
+	if !strings.Contains(lines[2], "##########") {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	// Value column present.
+	if !strings.Contains(lines[1], "1.000") {
+		t.Errorf("value missing: %q", lines[1])
+	}
+	// Missing values render as zero bars.
+	s2 := Chart("", []string{"x", "y"}, []float64{3}, 5)
+	if !strings.Contains(s2, "0.000") {
+		t.Errorf("missing value not zeroed:\n%s", s2)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var ts stats.TimeSeries
+	for i := 0; i < 100; i++ {
+		ts.Append(float64(i*1000), float64(8+i%8))
+	}
+	s := Trace("trace:", &ts, 16, 10, 20)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("trace lines = %d, want 11 (title + 10 rows)", len(lines))
+	}
+	if !strings.Contains(lines[1], "ms |") {
+		t.Errorf("row format wrong: %q", lines[1])
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := stats.NewHistogram(2)
+	for i := 0; i < 95; i++ {
+		h.Observe(0)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(1)
+	}
+	s := Histogram("hist", h, []string{"zero", "one", "more"}, 20)
+	if !strings.Contains(s, "95.0%") || !strings.Contains(s, "5.0%") || !strings.Contains(s, "0.0%") {
+		t.Errorf("percentages wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "zero") || !strings.Contains(s, "more") {
+		t.Errorf("labels missing:\n%s", s)
+	}
+}

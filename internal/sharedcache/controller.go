@@ -1,0 +1,464 @@
+// Package sharedcache implements the paper's time-multiplexed shared
+// cache controller (Section II.A, Figure 3).
+//
+// A cluster's cores, each running at an integer multiple (4x..6x) of the
+// cache's 0.4 ns reference clock, submit requests that spend two fast
+// cache cycles in wires and level shifters before reaching the
+// controller. The controller keeps one request register and one priority
+// shift register per core. The priority register is preloaded with one
+// bit per remaining cache cycle of the issuing core's current clock
+// period and right-shifts every cache cycle; among contending requests
+// the controller services the one with the fewest remaining one-bits
+// (soonest deadline), breaking ties pseudo-randomly. A read hit that
+// cannot be serviced before its register drains receives a "half-miss":
+// the core is notified, the register is reinitialised to a single bit,
+// and the request completes (with priority) in a following cycle for a
+// two-core-cycle total hit latency.
+//
+// Reads contend for the read port and writes (stores and line fills) for
+// the write port — Table I gives the shared L1 one of each. STT-RAM's
+// long write latency is pipelined inside the array (bank-interleaved
+// write drivers), so the write port accepts one request per cache cycle
+// while individual writes complete later; near-threshold cores never
+// observe that latency, which is the paper's core argument for pairing
+// STT-RAM with NT logic.
+package sharedcache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"respin/internal/config"
+	"respin/internal/stats"
+)
+
+// TieBreak selects among equally urgent requests.
+type TieBreak int
+
+const (
+	// RandomTie picks pseudo-randomly, as the paper describes.
+	RandomTie TieBreak = iota
+	// LowestCoreTie picks the lowest core id (deterministic; used to
+	// reproduce Figure 3's worked example exactly).
+	LowestCoreTie
+)
+
+// SelectPolicy chooses the arbitration algorithm.
+type SelectPolicy int
+
+const (
+	// SoonestDeadline is the paper's priority-register arbitration.
+	SoonestDeadline SelectPolicy = iota
+	// FIFO services requests in arrival order regardless of the
+	// requesting core's clock — the ablation baseline.
+	FIFO
+)
+
+// Request is one cache access submitted by a core (or, with Core == -1,
+// a line fill arriving from the L2 side).
+type Request struct {
+	// Core is the cluster-local requester id, or FillCore for fills.
+	Core int
+	// Write selects the write port (stores and fills) over the read
+	// port (loads and instruction fetches).
+	Write bool
+	// Multiple is the requester's clock-period multiple; it sets the
+	// deadline window. Fills use FillWindow.
+	Multiple int
+	// Tag carries opaque caller context through to the Serviced event.
+	Tag uint64
+}
+
+// FillCore marks line-fill requests, which have no requesting core.
+const FillCore = -1
+
+// fillWindow is the deadline window granted to line fills, matching the
+// slowest core so demand requests usually win ties.
+const fillWindow = config.MaxCoreMultiple
+
+// Serviced reports a completed request.
+type Serviced struct {
+	Req Request
+	// Cycle is the cache cycle in which the access was performed.
+	Cycle uint64
+	// CoreCycles is the total service latency in the requester's core
+	// cycles: 1 for an on-time hit, 2 after one half-miss, and so on.
+	CoreCycles int
+	// HalfMisses counts how many times the request missed its window.
+	HalfMisses int
+}
+
+// Stats aggregates controller-level distributions and counters.
+type Stats struct {
+	// Requests counts everything submitted.
+	Requests stats.Counter
+	// Reads and Writes split Requests by port.
+	Reads, Writes stats.Counter
+	// HalfMisses counts half-miss events (a request may contribute
+	// several).
+	HalfMisses stats.Counter
+	// RequestsWithHalfMiss counts read requests that suffered at least
+	// one half-miss.
+	RequestsWithHalfMiss stats.Counter
+	// ArrivalsPerCycle is Figure 10: how many requests arrive at the
+	// controller in each cache cycle (0,1,2,3,4+).
+	ArrivalsPerCycle *stats.Histogram
+	// ReadCoreCycles is Figure 11: core cycles to service each read
+	// (1, 2, more).
+	ReadCoreCycles *stats.Histogram
+}
+
+type slot struct {
+	req        Request
+	remaining  int // one-bits left in the priority shift register
+	coreCycles int
+	halfMisses int
+	active     bool
+}
+
+// Controller is the shared-cache arbitration engine for one cache (one
+// instance each for the shared L1I and L1D).
+type Controller struct {
+	nCores   int
+	policy   SelectPolicy
+	tieBreak TieBreak
+	rng      *rand.Rand
+	cycle    uint64
+
+	readSlots []slot // one per core: cores block on reads
+	// writeQueue holds stores and fills; per-core store-buffer depth
+	// bounds how many stores one core may have outstanding.
+	writeQueue  []slot
+	storeDepth  int
+	storeCount  []int
+	pendingRing [config.RequestTransitCacheCycles + 1][]slot
+
+	activeReads int    // live read slots, to skip idle-cycle scans
+	pendingN    int    // requests in transit
+	readBusy    []bool // per-core read outstanding (slot or in transit)
+	done        []Serviced
+
+	Stats Stats
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithPolicy selects the arbitration policy.
+func WithPolicy(p SelectPolicy) Option { return func(c *Controller) { c.policy = p } }
+
+// WithTieBreak selects the tie-break rule.
+func WithTieBreak(t TieBreak) Option { return func(c *Controller) { c.tieBreak = t } }
+
+// WithStoreBufferDepth bounds per-core outstanding stores.
+func WithStoreBufferDepth(d int) Option { return func(c *Controller) { c.storeDepth = d } }
+
+// WithSeed seeds the tie-break RNG.
+func WithSeed(seed int64) Option {
+	return func(c *Controller) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New builds a controller for a cluster of nCores cores.
+func New(nCores int, opts ...Option) *Controller {
+	if nCores <= 0 {
+		panic(fmt.Sprintf("sharedcache: invalid core count %d", nCores))
+	}
+	c := &Controller{
+		nCores:     nCores,
+		rng:        rand.New(rand.NewSource(1)),
+		readSlots:  make([]slot, nCores),
+		storeDepth: 4,
+		storeCount: make([]int, nCores),
+		readBusy:   make([]bool, nCores),
+	}
+	c.Stats.ArrivalsPerCycle = stats.NewHistogram(4) // 0..3 then 4+
+	c.Stats.ReadCoreCycles = stats.NewHistogram(3)   // buckets 1 and 2, then 3+ ("more")
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Cycle returns the current cache cycle.
+func (c *Controller) Cycle() uint64 { return c.cycle }
+
+// CanSubmitRead reports whether the core's read slot is free (a core has
+// exactly one outstanding read — loads block the pipeline).
+func (c *Controller) CanSubmitRead(core int) bool {
+	return c.validCore(core) && !c.readBusy[core]
+}
+
+// CanSubmitWrite reports whether the core's store buffer has room.
+func (c *Controller) CanSubmitWrite(core int) bool {
+	if core == FillCore {
+		return true
+	}
+	return c.validCore(core) && c.storeCount[core] < c.storeDepth
+}
+
+func (c *Controller) validCore(core int) bool { return core >= 0 && core < c.nCores }
+
+// Submit enqueues a request issued at the current cache cycle. The
+// request spends the transit cycles in wires/level-shifters before
+// becoming visible to the arbiter. It reports false (and drops the
+// request) when the core's slot or store buffer cannot accept it;
+// callers stall the core and retry.
+func (c *Controller) Submit(req Request) bool {
+	if req.Core != FillCore && !c.validCore(req.Core) {
+		panic(fmt.Sprintf("sharedcache: core %d out of range", req.Core))
+	}
+	window := req.Multiple
+	if req.Core == FillCore {
+		window = fillWindow
+	}
+	if window < config.MinCoreMultiple || window > config.MaxCoreMultiple {
+		panic(fmt.Sprintf("sharedcache: window %d outside [%d,%d]",
+			window, config.MinCoreMultiple, config.MaxCoreMultiple))
+	}
+	if req.Write {
+		if !c.CanSubmitWrite(req.Core) {
+			return false
+		}
+		if req.Core != FillCore {
+			c.storeCount[req.Core]++
+		}
+	} else {
+		if req.Core == FillCore {
+			panic("sharedcache: fills must be writes")
+		}
+		if !c.CanSubmitRead(req.Core) {
+			return false
+		}
+		c.readBusy[req.Core] = true
+	}
+	c.Stats.Requests.Inc()
+	if req.Write {
+		c.Stats.Writes.Inc()
+	} else {
+		c.Stats.Reads.Inc()
+	}
+	// The priority register is preloaded with the window minus the
+	// transit cycles already spent in wires and level shifters.
+	s := slot{
+		req:        req,
+		remaining:  window - config.RequestTransitCacheCycles,
+		coreCycles: 1,
+		active:     true,
+	}
+	idx := (c.cycle + config.RequestTransitCacheCycles) % uint64(len(c.pendingRing))
+	c.pendingRing[idx] = append(c.pendingRing[idx], s)
+	c.pendingN++
+	return true
+}
+
+// PriorityBits renders core i's read priority register as a bit string
+// (LSB last), mirroring Figure 3(b). Inactive slots render as all
+// zeroes. The register width is the widest possible window.
+func (c *Controller) PriorityBits(core int) string {
+	width := config.MaxCoreMultiple - config.RequestTransitCacheCycles + 1
+	bits := make([]byte, width)
+	for i := range bits {
+		bits[i] = '0'
+	}
+	if c.validCore(core) && c.readSlots[core].active {
+		r := c.readSlots[core].remaining
+		for i := 0; i < r && i < width; i++ {
+			bits[width-1-i] = '1'
+		}
+	}
+	return string(bits)
+}
+
+// Tick advances one cache cycle: one read and one write are serviced,
+// unserviced registers shift right, and the requests that finished their
+// wire/level-shifter transit become visible for the next cycle. It
+// returns the requests completed this cycle; the returned slice is
+// reused by the next Tick call.
+func (c *Controller) Tick() []Serviced {
+	// Idle fast path: nothing active, queued or in transit.
+	if c.activeReads == 0 && len(c.writeQueue) == 0 && c.pendingN == 0 {
+		c.cycle++
+		c.Stats.ArrivalsPerCycle.Observe(0)
+		return nil
+	}
+	done := c.done[:0]
+
+	// Read port: service the soonest-deadline active read.
+	if pick := c.pickRead(); pick >= 0 {
+		s := &c.readSlots[pick]
+		done = append(done, Serviced{
+			Req: s.req, Cycle: c.cycle,
+			CoreCycles: s.coreCycles, HalfMisses: s.halfMisses,
+		})
+		c.Stats.ReadCoreCycles.Observe(s.coreCycles)
+		if s.halfMisses > 0 {
+			c.Stats.RequestsWithHalfMiss.Inc()
+		}
+		s.active = false
+		c.activeReads--
+		c.readBusy[s.req.Core] = false
+	}
+
+	// Write port: service one store or fill.
+	if pick := c.pickWrite(); pick >= 0 {
+		s := c.writeQueue[pick]
+		done = append(done, Serviced{
+			Req: s.req, Cycle: c.cycle,
+			CoreCycles: s.coreCycles, HalfMisses: s.halfMisses,
+		})
+		if s.req.Core != FillCore {
+			c.storeCount[s.req.Core]--
+		}
+		c.writeQueue = append(c.writeQueue[:pick], c.writeQueue[pick+1:]...)
+	}
+
+	// Shift the registers of everything still waiting; expired reads
+	// take a half-miss and retry with top priority.
+	if c.activeReads > 0 {
+		c.shiftReadRegisters()
+	}
+	for i := range c.writeQueue {
+		if c.writeQueue[i].remaining > 1 {
+			c.writeQueue[i].remaining--
+		}
+	}
+
+	c.cycle++
+
+	// Arrivals scheduled for the new cycle become active now, so their
+	// registers are loaded (and inspectable) before that cycle's
+	// arbitration runs.
+	idx := c.cycle % uint64(len(c.pendingRing))
+	arrivals := c.pendingRing[idx]
+	c.Stats.ArrivalsPerCycle.Observe(len(arrivals))
+	for _, s := range arrivals {
+		if s.req.Write {
+			c.writeQueue = append(c.writeQueue, s)
+		} else {
+			c.readSlots[s.req.Core] = s
+			c.activeReads++
+		}
+	}
+	c.pendingN -= len(arrivals)
+	c.pendingRing[idx] = arrivals[:0]
+	c.done = done
+	return done
+}
+
+// shiftReadRegisters right-shifts every waiting read's priority register
+// and converts expiries into half-misses.
+func (c *Controller) shiftReadRegisters() {
+	for i := range c.readSlots {
+		s := &c.readSlots[i]
+		if !s.active {
+			continue
+		}
+		s.remaining--
+		if s.remaining <= 0 {
+			s.halfMisses++
+			s.coreCycles++
+			s.remaining = 1
+			c.Stats.HalfMisses.Inc()
+		}
+	}
+}
+
+// pickRead returns the index of the read slot to service, or -1.
+func (c *Controller) pickRead() int {
+	if c.activeReads == 0 {
+		return -1
+	}
+	best := -1
+	ties := 0
+	for i := range c.readSlots {
+		s := &c.readSlots[i]
+		if !s.active {
+			continue
+		}
+		switch {
+		case best < 0 || c.less(s, &c.readSlots[best]):
+			best, ties = i, 1
+		case !c.less(&c.readSlots[best], s):
+			// Equal urgency: reservoir-sample among ties.
+			ties++
+			if c.tieBreak == RandomTie && c.rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// pickWrite returns the index in writeQueue to service, or -1.
+func (c *Controller) pickWrite() int {
+	if len(c.writeQueue) == 0 {
+		return -1
+	}
+	if c.policy == FIFO {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(c.writeQueue); i++ {
+		if c.writeQueue[i].remaining < c.writeQueue[best].remaining {
+			best = i
+		}
+	}
+	return best
+}
+
+// less orders read slots by urgency under the configured policy.
+func (c *Controller) less(a, b *slot) bool {
+	if c.policy == FIFO {
+		// FIFO ignores deadlines: order by how long the request has
+		// been active, approximated by consumed window.
+		aw := a.req.Multiple - config.RequestTransitCacheCycles - a.remaining
+		bw := b.req.Multiple - config.RequestTransitCacheCycles - b.remaining
+		return aw > bw
+	}
+	return a.remaining < b.remaining
+}
+
+// PendingReads returns the number of active read requests (for tests).
+func (c *Controller) PendingReads() int {
+	n := 0
+	for i := range c.readSlots {
+		if c.readSlots[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingWrites returns the write-queue depth (for tests).
+func (c *Controller) PendingWrites() int { return len(c.writeQueue) }
+
+// HoldStore re-occupies one of the core's store-buffer slots; the
+// cluster calls it when a serviced store misses the L1 and its
+// write-allocate is still outstanding, so store misses are throttled by
+// the store-buffer depth (MSHR-style back-pressure).
+func (c *Controller) HoldStore(core int) {
+	if core == FillCore {
+		return
+	}
+	if !c.validCore(core) {
+		panic(fmt.Sprintf("sharedcache: HoldStore core %d out of range", core))
+	}
+	c.storeCount[core]++
+}
+
+// ReleaseStore frees a slot held by HoldStore.
+func (c *Controller) ReleaseStore(core int) {
+	if core == FillCore {
+		return
+	}
+	if !c.validCore(core) || c.storeCount[core] <= 0 {
+		panic(fmt.Sprintf("sharedcache: ReleaseStore underflow on core %d", core))
+	}
+	c.storeCount[core]--
+}
+
+// HalfMissRate returns the fraction of read requests that suffered at
+// least one half-miss — the paper reports ~4%.
+func (c *Controller) HalfMissRate() float64 {
+	return stats.Ratio(c.Stats.RequestsWithHalfMiss.Value(), c.Stats.Reads.Value())
+}

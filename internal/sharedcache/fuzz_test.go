@@ -1,0 +1,63 @@
+package sharedcache
+
+import "testing"
+
+// FuzzController interprets the fuzz input as a schedule of submissions
+// and checks the controller's core invariants: accepted requests are
+// serviced exactly once, read latencies equal 1 + half-misses, and the
+// per-core slot discipline holds. Runs on its seed corpus under
+// `go test`; `go test -fuzz=FuzzController` explores further.
+func FuzzController(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x13, 0x00, 0xff, 0x41})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc, 0x80, 0x40, 0x20, 0x10})
+	f.Fuzz(func(t *testing.T, schedule []byte) {
+		if len(schedule) > 4096 {
+			schedule = schedule[:4096]
+		}
+		const nCores = 8
+		c := New(nCores, WithSeed(7))
+		submitted := map[uint64]bool{}
+		serviced := map[uint64]int{}
+		var tag uint64
+		for _, b := range schedule {
+			// Each byte encodes up to one submission attempt and one tick:
+			// bits 0-2 core, bit 3 write, bits 4-5 window offset, bit 7
+			// "skip submission".
+			if b&0x80 == 0 {
+				core := int(b & 7)
+				write := b&8 != 0
+				window := 4 + int(b>>4)&3
+				if window > 6 {
+					window = 6
+				}
+				tag++
+				if c.Submit(Request{Core: core, Write: write, Multiple: window, Tag: tag}) {
+					submitted[tag] = true
+				}
+			}
+			for _, d := range c.Tick() {
+				serviced[d.Req.Tag]++
+				if !d.Req.Write && d.CoreCycles != 1+d.HalfMisses {
+					t.Fatalf("latency invariant broken: %+v", d)
+				}
+			}
+		}
+		for i := 0; i < 64; i++ {
+			for _, d := range c.Tick() {
+				serviced[d.Req.Tag]++
+			}
+		}
+		if len(serviced) != len(submitted) {
+			t.Fatalf("serviced %d of %d accepted requests", len(serviced), len(submitted))
+		}
+		for tg, n := range serviced {
+			if n != 1 || !submitted[tg] {
+				t.Fatalf("request %d serviced %d times (accepted=%v)", tg, n, submitted[tg])
+			}
+		}
+		if c.PendingReads() != 0 || c.PendingWrites() != 0 {
+			t.Fatal("requests stuck after drain")
+		}
+	})
+}

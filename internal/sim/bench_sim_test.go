@@ -1,0 +1,17 @@
+package sim
+
+import (
+	"testing"
+
+	"respin/internal/config"
+)
+
+func BenchmarkSimRadixSHSTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Run(config.New(config.SHSTT, config.Medium), "radix", Options{QuotaInstr: 40_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r
+	}
+}

@@ -1,0 +1,388 @@
+// Package sim is the chip-level simulator: it instantiates the 64-core
+// CMP for one Table IV configuration (clusters, shared L3, DRAM),
+// coordinates the application's global barriers, drives the per-cluster
+// virtual core monitors (consolidation epochs), integrates chip-wide
+// energy, and produces the Result structures the experiment drivers turn
+// into the paper's tables and figures.
+package sim
+
+import (
+	"fmt"
+
+	"respin/internal/cluster"
+	"respin/internal/config"
+	"respin/internal/consolidation"
+	"respin/internal/mem"
+	"respin/internal/power"
+	"respin/internal/stats"
+	"respin/internal/trace"
+	"respin/internal/variation"
+)
+
+// Chip-level timing constants (cache cycles).
+const (
+	l3OccupancyCycles = 1
+	// barrierReleaseCycles is the cross-chip propagation of a barrier
+	// release (an L3-level round trip).
+	barrierReleaseCycles = 30
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	// QuotaInstr is the per-thread instruction budget (workload
+	// length). Zero selects DefaultQuota.
+	QuotaInstr uint64
+	// Seed drives workload and arbitration randomness.
+	Seed int64
+	// MaxCycles aborts a stuck run (safety net). Zero selects a bound
+	// scaled to the quota.
+	MaxCycles uint64
+	// EpochTrace records the active-core count of every cluster at
+	// each consolidation epoch (Figures 12-14).
+	EpochTrace bool
+}
+
+// DefaultQuota is the default per-thread instruction budget.
+const DefaultQuota = 150_000
+
+// Result summarises one run.
+type Result struct {
+	Config config.Config
+	Bench  string
+	// Cycles is the execution time in cache cycles; TimePS in ps.
+	Cycles uint64
+	TimePS int64
+	// Instructions retired chip-wide.
+	Instructions uint64
+	// Energy is the chip-wide meter (cache leakage included).
+	Energy power.Meter
+	// EnergyPJ is Energy.TotalPJ().
+	EnergyPJ float64
+	// AvgPowerW is average chip power.
+	AvgPowerW float64
+	// HalfMissRate is the fraction of shared-L1D reads that suffered a
+	// half-miss (zero for private configs).
+	HalfMissRate float64
+	// ReadCoreCycles aggregates Figure 11 over all clusters.
+	ReadCoreCycles *stats.Histogram
+	// ArrivalsPerCycle aggregates Figure 10 over all clusters.
+	ArrivalsPerCycle *stats.Histogram
+	// ActiveCores summarises powered cores per cluster over epochs
+	// (Figure 14); startup epochs are excluded.
+	ActiveCores stats.Summary
+	// Trace is the epoch-by-epoch active-core count of cluster 0
+	// (Figures 12-13); populated when Options.EpochTrace is set.
+	Trace stats.TimeSeries
+	// Stats aggregates cluster event counters.
+	Stats cluster.Stats
+	// L1DMissRate is the global L1D miss rate.
+	L1DMissRate float64
+}
+
+// IPC returns chip-wide instructions per cache cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Sim is one configured chip instance.
+type Sim struct {
+	cfg     config.Config
+	chip    *power.Chip
+	opts    Options
+	bench   trace.Profile
+	clus    []*cluster.Cluster
+	mgrs    []consolidation.Manager
+	lastMtr []power.Meter
+	lastCyc []uint64
+	lastOS  []uint64 // last OS-epoch boundary per cluster (cycles)
+
+	l3         *mem.Cache
+	l3NextFree uint64
+	dram       *mem.DRAM
+	l3Meter    power.Meter
+
+	epochSeen int
+	trace     stats.TimeSeries
+	activeSum stats.Summary
+	epochIdx  []int
+}
+
+// New builds a simulator for one configuration and benchmark.
+func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	prof, err := trace.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	if opts.QuotaInstr == 0 {
+		opts.QuotaInstr = DefaultQuota
+	}
+	if opts.MaxCycles == 0 {
+		// Generous bound: ~200 cache cycles per instruction per thread.
+		opts.MaxCycles = opts.QuotaInstr * 200
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	chip := power.NewChipWithParams(cfg, power.DefaultParams())
+	s := &Sim{
+		cfg:   cfg,
+		chip:  chip,
+		opts:  opts,
+		bench: prof,
+		l3:    mem.NewCache(cfg.Hierarchy.L3),
+		dram:  mem.NewDRAM(),
+	}
+
+	vm := variation.Generate(cfg.VariationSeed, 8, 8, cfg.CoreVdd, variation.DefaultParams())
+	n := cfg.NumClusters()
+	s.clus = make([]*cluster.Cluster, n)
+	s.mgrs = make([]consolidation.Manager, n)
+	s.lastMtr = make([]power.Meter, n)
+	s.lastCyc = make([]uint64, n)
+	s.lastOS = make([]uint64, n)
+	s.epochIdx = make([]int, n)
+	for i := 0; i < n; i++ {
+		s.clus[i] = cluster.New(cluster.Params{
+			Config:     cfg,
+			Chip:       chip,
+			ClusterID:  i,
+			PCores:     vm.ClusterCores(i, cfg.ClusterSize),
+			Bench:      prof,
+			Seed:       opts.Seed,
+			QuotaInstr: opts.QuotaInstr,
+			Lower:      (*lowerAdapter)(s),
+		})
+		s.mgrs[i] = s.newManager()
+	}
+	return s, nil
+}
+
+// newManager builds the per-cluster consolidation policy.
+func (s *Sim) newManager() consolidation.Manager {
+	pp := s.cfg.ConsolidationParams
+	switch s.cfg.Consolidation {
+	case config.GreedyConsolidation, config.OSConsolidation:
+		return consolidation.NewGreedy(pp, s.cfg.ClusterSize)
+	case config.OracleConsolidation:
+		return consolidation.NewOracle(pp, s.cfg.ClusterSize,
+			s.chip.CoreLeakW, s.chip.CoreGatedLeakW,
+			s.chip.CacheLeakW/float64(s.cfg.NumClusters()))
+	default:
+		return consolidation.Static(s.cfg.ClusterSize)
+	}
+}
+
+// lowerAdapter implements cluster.Lower over the sim's shared L3/DRAM.
+type lowerAdapter Sim
+
+// L3Access implements cluster.Lower.
+func (la *lowerAdapter) L3Access(start uint64, addr uint64, write bool) uint64 {
+	s := (*Sim)(la)
+	if start < s.l3NextFree {
+		start = s.l3NextFree
+	}
+	s.l3NextFree = start + l3OccupancyCycles
+	e := &s.chip.Energies
+	lat := uint64(s.chip.Latencies.L3Read)
+	if write {
+		s.l3Meter.AddPJ(power.CacheDynamic, e.L3Write)
+		res := s.l3.Access(addr, true)
+		if !res.Hit {
+			fill := s.l3.Fill(addr, true)
+			_ = fill // dirty L3 evictions go to DRAM; energy off-chip
+		}
+		return start + uint64(s.chip.Latencies.L3Write)
+	}
+	s.l3Meter.AddPJ(power.CacheDynamic, e.L3Read)
+	res := s.l3.Access(addr, false)
+	if res.Hit {
+		return start + lat
+	}
+	memLat := uint64(s.dram.LatencyCacheCycles())
+	s.dram.Access()
+	s.l3.Fill(addr, false)
+	s.l3Meter.AddPJ(power.CacheDynamic, e.L3Write)
+	return start + lat + memLat
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Sim) Run() (Result, error) {
+	pp := s.cfg.ConsolidationParams
+	osEpochCycles := uint64(pp.OSIntervalPS / config.CachePeriodPS)
+	barrierPending := false
+
+	now := uint64(0)
+	for ; now < s.opts.MaxCycles; now++ {
+		done := true
+		for _, cl := range s.clus {
+			if !cl.Done() {
+				done = false
+			}
+			cl.Tick()
+		}
+		if done {
+			break
+		}
+
+		// Global barrier: when every unfinished thread chip-wide is
+		// parked, release all clusters after the propagation delay.
+		if !barrierPending {
+			waiting, unfinished := 0, 0
+			for _, cl := range s.clus {
+				waiting += cl.BarrierWaiters()
+				unfinished += cl.Unfinished()
+			}
+			if unfinished > 0 && waiting == unfinished {
+				for _, cl := range s.clus {
+					cl.ScheduleBarrierRelease(now + barrierReleaseCycles)
+				}
+				barrierPending = true
+			}
+		} else {
+			stillWaiting := 0
+			for _, cl := range s.clus {
+				stillWaiting += cl.BarrierWaiters()
+			}
+			if stillWaiting == 0 {
+				barrierPending = false
+			}
+		}
+
+		// Consolidation epochs.
+		if s.cfg.Consolidation != config.NoConsolidation {
+			for i, cl := range s.clus {
+				boundary := false
+				if s.cfg.Consolidation == config.OSConsolidation {
+					boundary = now-s.lastOS[i] >= osEpochCycles
+				} else {
+					boundary = cl.EpochInstructions() >= pp.EpochInstructions
+				}
+				if boundary {
+					s.endEpoch(i, now)
+				}
+			}
+		}
+	}
+	if now >= s.opts.MaxCycles {
+		return Result{}, fmt.Errorf("sim: %s/%v did not finish within %d cycles",
+			s.bench.Name, s.cfg.Kind, s.opts.MaxCycles)
+	}
+	return s.collect(now), nil
+}
+
+// endEpoch closes cluster i's consolidation epoch at the given cycle.
+func (s *Sim) endEpoch(i int, now uint64) {
+	cl := s.clus[i]
+	meter, cyc := cl.EpochSnapshot()
+	delta := meter.Sub(&s.lastMtr[i])
+	dtPS := int64(cyc-s.lastCyc[i]) * config.CachePeriodPS
+	cacheShare := s.chip.CacheLeakW / float64(len(s.clus))
+	energy := delta.TotalPJ() + cacheShare*float64(dtPS)
+	m := consolidation.Measurement{
+		EPI:          energy / float64(max64(cl.EpochInstructions(), 1)),
+		Utilization:  cl.EpochUtilization(),
+		Instructions: cl.EpochInstructions(),
+		TimePS:       dtPS,
+		EnergyPJ:     energy,
+		DynamicPJ:    delta.DynamicPJ(),
+		Active:       cl.ActiveCores(),
+	}
+	target := s.mgrs[i].Decide(m)
+	cl.SetActiveCores(target)
+	cl.ResetEpoch()
+	s.lastMtr[i] = meter
+	s.lastCyc[i] = cyc
+	s.lastOS[i] = now
+
+	// Figure 12-14 bookkeeping.
+	s.epochIdx[i]++
+	if i == 0 && s.opts.EpochTrace {
+		s.trace.Append(float64(now)*config.CachePeriodPS*1e-6, float64(cl.ActiveCores()))
+	}
+	// Exclude the startup phase (first few epochs), as the paper does.
+	if s.epochIdx[i] > 3 {
+		s.activeSum.Observe(float64(cl.ActiveCores()))
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// collect assembles the final Result.
+func (s *Sim) collect(cycles uint64) Result {
+	r := Result{
+		Config:           s.cfg,
+		Bench:            s.bench.Name,
+		Cycles:           cycles,
+		TimePS:           int64(cycles) * config.CachePeriodPS,
+		ReadCoreCycles:   stats.NewHistogram(3),
+		ArrivalsPerCycle: stats.NewHistogram(4),
+		ActiveCores:      s.activeSum,
+		Trace:            s.trace,
+	}
+	var l1dReads, l1dMisses uint64
+	var halfMissReqs, reads uint64
+	for _, cl := range s.clus {
+		m, _ := cl.EpochSnapshot()
+		r.Energy.Add(&m)
+		st := cl.Stats
+		r.Instructions += st.Instructions
+		r.Stats.Instructions += st.Instructions
+		r.Stats.CoherenceReads += st.CoherenceReads
+		r.Stats.SpinAccesses += st.SpinAccesses
+		r.Stats.Migrations += st.Migrations
+		r.Stats.HWSwitches += st.HWSwitches
+		r.Stats.PowerUps += st.PowerUps
+		r.Stats.L2Accesses += st.L2Accesses
+		r.Stats.L3Accesses += st.L3Accesses
+		if ctrl := cl.ControllerD(); ctrl != nil {
+			r.ReadCoreCycles.Merge(ctrl.Stats.ReadCoreCycles)
+			r.ArrivalsPerCycle.Merge(ctrl.Stats.ArrivalsPerCycle)
+			halfMissReqs += ctrl.Stats.RequestsWithHalfMiss.Value()
+			reads += ctrl.Stats.Reads.Value()
+		}
+		if dir := cl.Directory(); dir != nil {
+			for c := 0; c < dir.NumCores(); c++ {
+				cs := &dir.Cache(c).Stats
+				l1dReads += cs.Reads.Value() + cs.Writes.Value()
+				l1dMisses += cs.ReadMisses.Value() + cs.WriteMisses.Value()
+			}
+		}
+		if l1d := cl.L1D(); l1d != nil {
+			l1dReads += l1d.Stats.Reads.Value() + l1d.Stats.Writes.Value()
+			l1dMisses += l1d.Stats.ReadMisses.Value() + l1d.Stats.WriteMisses.Value()
+		}
+	}
+	r.Energy.Add(&s.l3Meter)
+	// Chip-wide cache leakage over the whole run.
+	r.Energy.AddLeakage(power.CacheLeakage, s.chip.CacheLeakW, r.TimePS)
+	r.EnergyPJ = r.Energy.TotalPJ()
+	r.AvgPowerW = r.Energy.AvgPowerW(r.TimePS)
+	if reads > 0 {
+		r.HalfMissRate = float64(halfMissReqs) / float64(reads)
+	}
+	if l1dReads > 0 {
+		r.L1DMissRate = float64(l1dMisses) / float64(l1dReads)
+	}
+	return r
+}
+
+// Run is the convenience entry point: build and run one configuration.
+func Run(cfg config.Config, bench string, opts Options) (Result, error) {
+	s, err := New(cfg, bench, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/power"
+)
+
+func run(t *testing.T, kind config.ArchKind, bench string, opts Options) Result {
+	t.Helper()
+	if opts.QuotaInstr == 0 {
+		opts.QuotaInstr = 30_000 // short runs for unit tests
+	}
+	r, err := Run(config.New(kind, config.Medium), bench, opts)
+	if err != nil {
+		t.Fatalf("run %v/%s: %v", kind, bench, err)
+	}
+	return r
+}
+
+func TestRunCompletesAllConfigs(t *testing.T) {
+	for _, kind := range config.AllArchKinds {
+		r := run(t, kind, "fft", Options{})
+		if r.Cycles == 0 || r.Instructions == 0 {
+			t.Errorf("%v: empty result %+v", kind, r)
+		}
+		if r.EnergyPJ <= 0 || r.AvgPowerW <= 0 {
+			t.Errorf("%v: no energy accounted", kind)
+		}
+		if r.Energy.PJ(power.CacheLeakage) <= 0 {
+			t.Errorf("%v: cache leakage missing", kind)
+		}
+		// Chip-wide instruction count: 64 threads x quota.
+		if r.Instructions < 64*30_000 {
+			t.Errorf("%v: instructions = %d, want >= %d", kind, r.Instructions, 64*30_000)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, config.SHSTT, "lu", Options{Seed: 5})
+	b := run(t, config.SHSTT, "lu", Options{Seed: 5})
+	if a.Cycles != b.Cycles || a.EnergyPJ != b.EnergyPJ || a.Instructions != b.Instructions {
+		t.Errorf("identical seeds diverged: %d/%d cycles, %.0f/%.0f pJ",
+			a.Cycles, b.Cycles, a.EnergyPJ, b.EnergyPJ)
+	}
+	c := run(t, config.SHSTT, "lu", Options{Seed: 6})
+	if a.Cycles == c.Cycles && a.EnergyPJ == c.EnergyPJ {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestSharedFasterAndCheaperThanBaseline(t *testing.T) {
+	base := run(t, config.PRSRAMNT, "raytrace", Options{})
+	stt := run(t, config.SHSTT, "raytrace", Options{})
+	if stt.Cycles >= base.Cycles {
+		t.Errorf("SH-STT %d cycles not faster than PR-SRAM-NT %d", stt.Cycles, base.Cycles)
+	}
+	if stt.EnergyPJ >= base.EnergyPJ {
+		t.Errorf("SH-STT %.3g pJ not below PR-SRAM-NT %.3g pJ", stt.EnergyPJ, base.EnergyPJ)
+	}
+}
+
+func TestHPFasterButCostlier(t *testing.T) {
+	base := run(t, config.PRSRAMNT, "fft", Options{})
+	hp := run(t, config.HPSRAMCMP, "fft", Options{})
+	if hp.Cycles >= base.Cycles {
+		t.Errorf("HP %d cycles not faster than NT %d", hp.Cycles, base.Cycles)
+	}
+	if hp.EnergyPJ <= base.EnergyPJ {
+		t.Errorf("HP energy %.3g not above NT %.3g", hp.EnergyPJ, base.EnergyPJ)
+	}
+}
+
+func TestConsolidationSavesEnergy(t *testing.T) {
+	plain := run(t, config.SHSTT, "radix", Options{QuotaInstr: 80_000})
+	cc := run(t, config.SHSTTCC, "radix", Options{QuotaInstr: 80_000})
+	t.Logf("radix energy: SH-STT %.3g pJ vs SH-STT-CC %.3g pJ (%.1f%%), time +%.1f%%, mean active %.1f",
+		plain.EnergyPJ, cc.EnergyPJ, 100*(1-cc.EnergyPJ/plain.EnergyPJ),
+		100*(float64(cc.Cycles)/float64(plain.Cycles)-1), cc.ActiveCores.Mean())
+	if cc.EnergyPJ >= plain.EnergyPJ {
+		t.Errorf("consolidation increased energy: %.3g -> %.3g", plain.EnergyPJ, cc.EnergyPJ)
+	}
+	if cc.ActiveCores.Mean() >= 15.5 {
+		t.Errorf("consolidation never engaged (mean active %.1f)", cc.ActiveCores.Mean())
+	}
+	if cc.Stats.Migrations == 0 {
+		t.Error("no migrations recorded")
+	}
+}
+
+func TestOracleAtLeastAsGoodAsGreedy(t *testing.T) {
+	greedy := run(t, config.SHSTTCC, "radix", Options{QuotaInstr: 80_000})
+	oracle := run(t, config.SHSTTCCOracle, "radix", Options{QuotaInstr: 80_000})
+	t.Logf("radix: greedy %.4g pJ vs oracle %.4g pJ", greedy.EnergyPJ, oracle.EnergyPJ)
+	if oracle.EnergyPJ > greedy.EnergyPJ*1.05 {
+		t.Errorf("oracle (%.4g) clearly worse than greedy (%.4g)", oracle.EnergyPJ, greedy.EnergyPJ)
+	}
+}
+
+func TestEpochTraceRecorded(t *testing.T) {
+	r := run(t, config.SHSTTCC, "radix", Options{QuotaInstr: 80_000, EpochTrace: true})
+	if r.Trace.Len() == 0 {
+		t.Fatal("no consolidation trace recorded")
+	}
+	for _, v := range r.Trace.Values {
+		if v < 1 || v > 16 {
+			t.Fatalf("trace value %v outside [1,16]", v)
+		}
+	}
+	if r.ActiveCores.N() == 0 {
+		t.Error("no active-core summary (post-startup epochs)")
+	}
+}
+
+func TestFigure10And11Populated(t *testing.T) {
+	r := run(t, config.SHSTT, "fft", Options{})
+	if r.ArrivalsPerCycle.Total() == 0 {
+		t.Fatal("Figure 10 histogram empty")
+	}
+	if r.ReadCoreCycles.Total() == 0 {
+		t.Fatal("Figure 11 histogram empty")
+	}
+	one := r.ReadCoreCycles.Fraction(1)
+	t.Logf("fft: 1-core-cycle reads %.3f, half-miss rate %.3f, idle cache cycles %.3f",
+		one, r.HalfMissRate, r.ArrivalsPerCycle.Fraction(0))
+	if one < 0.7 {
+		t.Errorf("single-cycle read fraction %.3f too low", one)
+	}
+	// Private config leaves them empty.
+	p := run(t, config.PRSRAMNT, "fft", Options{})
+	if p.ArrivalsPerCycle.Total() != 0 || p.HalfMissRate != 0 {
+		t.Error("private config should have no shared-controller stats")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	bad := config.New(config.SHSTT, config.Medium)
+	bad.ClusterSize = 7
+	if _, err := New(bad, "fft", Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(config.New(config.SHSTT, config.Medium), "nosuch", Options{}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	s, err := New(config.New(config.SHSTT, config.Medium), "fft", Options{QuotaInstr: 50_000, MaxCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("truncated run should report an error")
+	}
+}
+
+func TestIPCHelper(t *testing.T) {
+	var r Result
+	if r.IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+	r.Cycles = 10
+	r.Instructions = 25
+	if r.IPC() != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", r.IPC())
+	}
+}
+
+func TestOSConsolidationRuns(t *testing.T) {
+	r := run(t, config.SHSTTCCOS, "fft", Options{QuotaInstr: 60_000})
+	if r.Cycles == 0 {
+		t.Fatal("OS-mode run failed")
+	}
+}
+
+func TestClusterSize8Run(t *testing.T) {
+	cfg := config.NewWithCluster(config.SHSTT, config.Medium, 8)
+	res, err := Run(cfg, "fft", Options{QuotaInstr: 15_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 64*15_000 {
+		t.Errorf("instructions = %d", res.Instructions)
+	}
+}
+
+func TestEnergyBreakdownConsistent(t *testing.T) {
+	r := run(t, config.SHSTT, "fft", Options{QuotaInstr: 15_000})
+	sum := r.Energy.PJ(power.CoreDynamic) + r.Energy.PJ(power.CoreLeakage) +
+		r.Energy.PJ(power.CacheDynamic) + r.Energy.PJ(power.CacheLeakage) +
+		r.Energy.PJ(power.Shifter)
+	if diff := (sum - r.EnergyPJ) / r.EnergyPJ; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("component sum %.1f != total %.1f", sum, r.EnergyPJ)
+	}
+	if r.Energy.PJ(power.Shifter) <= 0 {
+		t.Error("dual-rail design must pay level-shifter energy")
+	}
+	// Average power must be plausible for a NT chip (tens of watts).
+	if r.AvgPowerW < 5 || r.AvgPowerW > 200 {
+		t.Errorf("average power = %.1f W, implausible", r.AvgPowerW)
+	}
+}
+
+func TestSeedChangesWorkloadNotConfig(t *testing.T) {
+	a := run(t, config.SHSTT, "lu", Options{QuotaInstr: 15_000, Seed: 3})
+	b := run(t, config.SHSTT, "lu", Options{QuotaInstr: 15_000, Seed: 4})
+	// Different seeds shuffle addresses/timing but leave the scale of
+	// the result intact.
+	ratio := float64(a.Cycles) / float64(b.Cycles)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("seed sensitivity too high: cycle ratio %.2f", ratio)
+	}
+}

@@ -1,0 +1,257 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"respin/internal/config"
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s = %v, want %v (+/-%.1f%%)", name, got, want, relTol*100)
+	}
+}
+
+// TestTableIIIAnchors verifies the model reproduces the paper's Table III.
+func TestTableIIIAnchors(t *testing.T) {
+	rows := TableIII()
+	if len(rows) != 4 {
+		t.Fatalf("TableIII has %d rows, want 4", len(rows))
+	}
+	sramLow, sramHigh, sram256, stt := rows[0], rows[1], rows[2], rows[3]
+
+	// SRAM 16KB x 16 @ 0.65 V.
+	within(t, "sramLow.Area", sramLow.AreaMM2, 0.9176, 0.02)
+	within(t, "sramLow.ReadLat", sramLow.ReadLatencyPS, 1337, 0.02)
+	within(t, "sramLow.ReadEng", sramLow.ReadEnergyPJ, 2.578, 0.02)
+	within(t, "sramLow.Leak", sramLow.LeakageMW, 573, 0.02)
+
+	// SRAM 16KB x 16 @ 1.0 V.
+	within(t, "sramHigh.Area", sramHigh.AreaMM2, 0.9176, 0.02)
+	within(t, "sramHigh.ReadLat", sramHigh.ReadLatencyPS, 211.9, 0.02)
+	within(t, "sramHigh.ReadEng", sramHigh.ReadEnergyPJ, 6.102, 0.02)
+	within(t, "sramHigh.Leak", sramHigh.LeakageMW, 881, 0.02)
+
+	// SRAM 256KB monolithic @ 1.0 V.
+	within(t, "sram256.Area", sram256.AreaMM2, 0.9176, 0.02)
+	within(t, "sram256.ReadLat", sram256.ReadLatencyPS, 533.6, 0.02)
+	within(t, "sram256.ReadEng", sram256.ReadEnergyPJ, 42.41, 0.02)
+	within(t, "sram256.Leak", sram256.LeakageMW, 881, 0.02)
+
+	// STT-RAM 256KB @ 1.0 V.
+	within(t, "stt.Area", stt.AreaMM2, 0.2451, 0.02)
+	within(t, "stt.ReadLat", stt.ReadLatencyPS, 388.2, 0.02)
+	within(t, "stt.WriteLat", stt.WriteLatencyPS, 5208, 0.02)
+	within(t, "stt.ReadEng", stt.ReadEnergyPJ, 29.32, 0.02)
+	within(t, "stt.Leak", stt.LeakageMW, 114, 0.02)
+}
+
+func TestSTTReadRoundsToCacheClock(t *testing.T) {
+	// The paper rounds the STT-RAM read up to 0.4 ns (one cache cycle).
+	stt := New(config.STTRAM, 256*1024, config.NominalVdd)
+	if got := stt.ReadLatencyCacheCycles(); got != 1 {
+		t.Errorf("STT read = %d cache cycles, want 1", got)
+	}
+	// Writes are ~5.2 ns -> 14 cache cycles after rounding up (about 3
+	// cycles of a 500 MHz core, as the paper states).
+	if got := stt.WriteLatencyCacheCycles(); got != 14 {
+		t.Errorf("STT write = %d cache cycles, want 14", got)
+	}
+	coreCycles := float64(stt.WriteLatencyCacheCycles()) * config.CachePeriodPS / 2000.0
+	if coreCycles < 2 || coreCycles > 3.5 {
+		t.Errorf("STT write = %.1f 500MHz-core cycles, want ~3", coreCycles)
+	}
+}
+
+func TestSTTvsSRAMRatios(t *testing.T) {
+	sram := New(config.SRAM, 256*1024, config.NominalVdd)
+	stt := New(config.STTRAM, 256*1024, config.NominalVdd)
+	// "At one eighth the leakage of SRAM designs..."
+	leakRatio := sram.LeakageMW / stt.LeakageMW
+	if leakRatio < 7 || leakRatio > 9 {
+		t.Errorf("SRAM/STT leakage ratio = %.2f, want ~8", leakRatio)
+	}
+	// STT-RAM is denser.
+	if stt.AreaMM2 >= sram.AreaMM2/3 {
+		t.Errorf("STT area %.4f not >3x denser than SRAM %.4f", stt.AreaMM2, sram.AreaMM2)
+	}
+	// "slightly faster read speed of STT-RAM compared to SRAM".
+	if stt.ReadLatencyPS >= sram.ReadLatencyPS {
+		t.Errorf("STT read %.1f not faster than SRAM %.1f", stt.ReadLatencyPS, sram.ReadLatencyPS)
+	}
+	// STT writes are far slower than reads.
+	if stt.WriteLatencyPS < 5*stt.ReadLatencyPS {
+		t.Errorf("STT write %.1f should dwarf read %.1f", stt.WriteLatencyPS, stt.ReadLatencyPS)
+	}
+}
+
+func TestVoltageScalingLaws(t *testing.T) {
+	hi := New(config.SRAM, 256*1024, 1.0)
+	lo := New(config.SRAM, 256*1024, 0.65)
+	within(t, "energy V^2", lo.ReadEnergyPJ/hi.ReadEnergyPJ, 0.65*0.65, 1e-6)
+	within(t, "leakage linear", lo.LeakageMW/hi.LeakageMW, 0.65, 1e-6)
+	if lo.ReadLatencyPS <= hi.ReadLatencyPS {
+		t.Error("lower voltage must be slower")
+	}
+	// STT write at 0.65 V should be ~20 ns (10 cycles of a 500 MHz
+	// core), per Section II.
+	sttLo := New(config.STTRAM, 256*1024, 0.65)
+	if sttLo.WriteLatencyPS < 15_000 || sttLo.WriteLatencyPS > 25_000 {
+		t.Errorf("STT write @0.65V = %.0f ps, want ~20000", sttLo.WriteLatencyPS)
+	}
+}
+
+func TestCapacityScalingMonotonic(t *testing.T) {
+	prev := New(config.SRAM, 16*1024, 1.0)
+	for _, c := range []int{32, 64, 128, 256, 512, 1024} {
+		m := New(config.SRAM, c*1024, 1.0)
+		if m.ReadLatencyPS <= prev.ReadLatencyPS {
+			t.Errorf("%dKB latency %.1f not > previous %.1f", c, m.ReadLatencyPS, prev.ReadLatencyPS)
+		}
+		if m.ReadEnergyPJ <= prev.ReadEnergyPJ {
+			t.Errorf("%dKB energy not monotonic", c)
+		}
+		if m.LeakageMW <= prev.LeakageMW {
+			t.Errorf("%dKB leakage not monotonic", c)
+		}
+		prev = m
+	}
+}
+
+func TestLeakageLinearInCapacity(t *testing.T) {
+	a := New(config.SRAM, 256*1024, 1.0)
+	b := New(config.SRAM, 512*1024, 1.0)
+	within(t, "leak doubling", b.LeakageMW/a.LeakageMW, 2.0, 1e-9)
+	within(t, "area doubling", b.AreaMM2/a.AreaMM2, 2.0, 1e-9)
+}
+
+func TestNewBanked(t *testing.T) {
+	banked := NewBanked(config.SRAM, 16*1024, 16, 1.0)
+	single := New(config.SRAM, 16*1024, 1.0)
+	if banked.CapacityBytes != 256*1024 {
+		t.Errorf("banked capacity = %d, want 256KB", banked.CapacityBytes)
+	}
+	within(t, "banked latency == bank latency", banked.ReadLatencyPS, single.ReadLatencyPS, 1e-9)
+	within(t, "banked leakage == 16x bank", banked.LeakageMW, 16*single.LeakageMW, 1e-9)
+	within(t, "banked area == 16x bank", banked.AreaMM2, 16*single.AreaMM2, 1e-9)
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero capacity", func() { New(config.SRAM, 0, 1.0) })
+	mustPanic("below threshold", func() { New(config.SRAM, 1024, 0.2) })
+	mustPanic("zero banks", func() { NewBanked(config.SRAM, 1024, 0, 1.0) })
+	mustPanic("bad tech", func() { New(config.MemTech(99), 1024, 1.0) })
+}
+
+func TestLevelDerates(t *testing.T) {
+	base := New(config.SRAM, 16*1024*1024, 1.0)
+	l2 := base.Apply(L2Derate)
+	l3 := base.Apply(L3Derate)
+	if l2.LeakageMW >= base.LeakageMW || l3.LeakageMW >= l2.LeakageMW {
+		t.Error("derated leakage must decrease down the hierarchy")
+	}
+	if l2.ReadLatencyPS <= base.ReadLatencyPS || l3.ReadLatencyPS <= l2.ReadLatencyPS {
+		t.Error("derated latency must increase down the hierarchy")
+	}
+	// Energy untouched by derate.
+	if l2.ReadEnergyPJ != base.ReadEnergyPJ {
+		t.Error("derate must not change per-access energy")
+	}
+}
+
+func TestLeakageWatts(t *testing.T) {
+	m := New(config.STTRAM, 256*1024, 1.0)
+	within(t, "LeakageWatts", m.LeakageWatts(), m.LeakageMW/1000, 1e-12)
+}
+
+func TestStringContainsTech(t *testing.T) {
+	s := New(config.STTRAM, 256*1024, 1.0).String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: for any capacity and voltage in the sane range, latency,
+// energy and leakage are positive and finite, and higher voltage is never
+// slower.
+func TestModelSanityProperty(t *testing.T) {
+	f := func(capKB uint16, vRaw uint8) bool {
+		capacity := (int(capKB)%4096 + 1) * 1024
+		v := 0.4 + float64(vRaw%61)/100.0 // 0.40 .. 1.00
+		for _, techKind := range []config.MemTech{config.SRAM, config.STTRAM} {
+			m := New(techKind, capacity, v)
+			if !(m.ReadLatencyPS > 0 && m.WriteLatencyPS > 0 &&
+				m.ReadEnergyPJ > 0 && m.WriteEnergyPJ > 0 &&
+				m.LeakageMW > 0 && m.AreaMM2 > 0) {
+				return false
+			}
+			if math.IsInf(m.ReadLatencyPS, 0) || math.IsNaN(m.ReadLatencyPS) {
+				return false
+			}
+			hi := New(techKind, capacity, 1.0)
+			if hi.ReadLatencyPS > m.ReadLatencyPS*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCycleHelper(t *testing.T) {
+	m := New(config.SRAM, 256*1024, 1.0)
+	wantCycles := int(math.Ceil(m.WriteLatencyPS / config.CachePeriodPS))
+	if got := m.WriteLatencyCacheCycles(); got != wantCycles {
+		t.Errorf("WriteLatencyCacheCycles = %d, want %d", got, wantCycles)
+	}
+}
+
+func TestAlphaScaleDerate(t *testing.T) {
+	// Wire-dominated L2/L3 arrays slow down less at reduced voltage
+	// than the cell-limited L1 path.
+	lo := New(config.SRAM, 16*1024*1024, 0.65)
+	hi := New(config.SRAM, 16*1024*1024, 1.0)
+	fullSlowdown := lo.ReadLatencyPS / hi.ReadLatencyPS
+	l2lo := lo.Apply(L2Derate)
+	l2hi := hi.Apply(L2Derate)
+	deratedSlowdown := l2lo.ReadLatencyPS / l2hi.ReadLatencyPS
+	if deratedSlowdown >= fullSlowdown {
+		t.Errorf("L2 voltage slowdown %.2f not below L1-class %.2f", deratedSlowdown, fullSlowdown)
+	}
+	if deratedSlowdown < 1.5 {
+		t.Errorf("L2 slowdown %.2f implausibly small", deratedSlowdown)
+	}
+	// At nominal voltage the alpha rescale is a no-op.
+	if got := hi.Apply(L2Derate).ReadLatencyPS / hi.ReadLatencyPS; got != L2Derate.Latency {
+		t.Errorf("nominal derate factor = %.3f, want %.1f", got, L2Derate.Latency)
+	}
+}
+
+func TestL3NotSlowerThanDRAMAtLowVoltage(t *testing.T) {
+	// Sanity: the 0.65 V SRAM L3 must stay well under the 60 ns DRAM
+	// latency, or the baseline hierarchy would be nonsensical.
+	l3 := New(config.SRAM, 48*1024*1024, 0.65).Apply(L3Derate)
+	if l3.ReadLatencyPS >= 45_000 {
+		t.Errorf("L3 read at 0.65V = %.1f ns, uncomfortably close to DRAM", l3.ReadLatencyPS/1000)
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import "testing"
+
+// TestFetchStreamCacheability checks the i-stream against a modelled
+// 16KB 2-way 32B cache (the private L1I): hit rate must be high.
+func TestFetchStreamCacheability(t *testing.T) {
+	g := NewGen(MustByName("raytrace"), 1, 0, 0)
+	const sets, ways = 256, 2
+	type line struct {
+		tag  uint64
+		used int
+	}
+	cache := make([][ways]line, sets)
+	misses, tick := 0, 0
+	for i := 0; i < 100000; i++ {
+		a := g.NextFetchAddr() >> 5
+		s := a % sets
+		tick++
+		hit := false
+		for w := 0; w < ways; w++ {
+			if cache[s][w].tag == a && cache[s][w].used > 0 {
+				cache[s][w].used = tick
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			misses++
+			v := 0
+			for w := 1; w < ways; w++ {
+				if cache[s][w].used < cache[s][v].used {
+					v = w
+				}
+			}
+			cache[s][v] = line{tag: a, used: tick}
+		}
+	}
+	rate := float64(misses) / 100000
+	t.Logf("modelled private L1I miss rate: %.4f", rate)
+	if rate > 0.05 {
+		t.Errorf("i-stream miss rate %.4f too high for a 16KB 2-way L1I", rate)
+	}
+}

@@ -1,0 +1,47 @@
+package trace
+
+import "testing"
+
+// FuzzGen drives the workload generator with arbitrary seeds and thread
+// ids, checking its invariants: retired count is monotone, events stay
+// inside their address regions, and barrier counting is consistent.
+// Runs as a seed-corpus unit test under `go test`; `go test -fuzz=FuzzGen`
+// explores further.
+func FuzzGen(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint16(500))
+	f.Add(int64(-42), uint8(15), uint8(3), uint16(2000))
+	f.Add(int64(1<<40), uint8(63), uint8(255), uint16(1))
+	names := Names()
+	f.Fuzz(func(t *testing.T, seed int64, thread, cluster uint8, steps uint16) {
+		p := MustByName(names[int(thread)%len(names)])
+		g := NewGen(p, seed, int(thread), int(cluster)%4)
+		prevRetired := uint64(0)
+		barriers := uint64(0)
+		for i := 0; i < int(steps)%4096; i++ {
+			ev := g.Next()
+			if g.Retired() < prevRetired {
+				t.Fatalf("retired went backwards: %d -> %d", prevRetired, g.Retired())
+			}
+			prevRetired = g.Retired()
+			switch ev.Type {
+			case Barrier:
+				barriers++
+				if ev.Addr != BarrierAddr {
+					t.Fatalf("barrier at %#x", ev.Addr)
+				}
+			case Load, Store:
+				if ev.Shared != IsShared(ev.Addr) {
+					t.Fatalf("shared flag inconsistent for %#x", ev.Addr)
+				}
+			default:
+				t.Fatalf("unknown event type %v", ev.Type)
+			}
+			if a := g.NextFetchAddr(); !((a >= codeBase) && a < codeBase+uint64(p.CodeKB)*1024) {
+				t.Fatalf("fetch addr %#x outside code", a)
+			}
+		}
+		if g.Barriers() != barriers {
+			t.Fatalf("barrier count mismatch: %d vs %d", g.Barriers(), barriers)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// EventType classifies generator events.
+type EventType int
+
+// Event types.
+const (
+	// Load is a blocking data read.
+	Load EventType = iota
+	// Store is a buffered data write.
+	Store
+	// Barrier is a global synchronisation point.
+	Barrier
+)
+
+// String returns the event type name.
+func (t EventType) String() string {
+	switch t {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Barrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event is one generator step: execute Gap non-memory instructions, then
+// perform the event. Load/Store events carry an address and count as one
+// instruction themselves; Barrier events do not retire an instruction.
+type Event struct {
+	Gap  uint64
+	Type EventType
+	Addr uint64
+	// Shared is true when Addr falls in the cluster-shared region.
+	Shared bool
+}
+
+// Address-space layout (byte addresses).
+const (
+	privateBase = uint64(1) << 40
+	sharedBase  = uint64(1) << 41
+	codeBase    = uint64(1) << 42
+	// BarrierAddr is the global barrier flag line all threads spin on.
+	BarrierAddr = uint64(1) << 43
+
+	hotRegionBytes = 4 * 1024
+	seqWordBytes   = 8
+)
+
+// IsShared reports whether an address lies in shared data (including the
+// barrier line).
+func IsShared(addr uint64) bool { return addr >= sharedBase }
+
+// Gen is a deterministic per-thread workload generator.
+type Gen struct {
+	prof    Profile
+	rng     *rand.Rand
+	thread  int
+	cluster int
+
+	// Phase machine.
+	phaseIdx  int
+	phaseLeft uint64
+
+	// Instruction accounting.
+	retired       uint64
+	nextBarrierAt uint64
+	barrierCount  uint64
+
+	// Private-stream walker.
+	privPtr uint64
+
+	// Instruction-stream walker.
+	codePtr uint64
+	anchors [favouriteLoops]int
+}
+
+// NewGen builds a generator for one thread. Threads of one run should
+// share seed and differ in thread id; cluster scopes the shared region.
+func NewGen(p Profile, seed int64, thread, cluster int) *Gen {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("trace: %v", err))
+	}
+	g := &Gen{
+		prof:    p,
+		rng:     rand.New(rand.NewSource(seed*1_000_003 + int64(thread)*7919 + int64(cluster)*104_729 + 1)),
+		thread:  thread,
+		cluster: cluster,
+	}
+	g.phaseLeft = p.Phases[0].DurInstr
+	for i := range g.anchors {
+		g.anchors[i] = g.rng.Intn(1 << 20)
+	}
+	g.scheduleBarrier()
+	return g
+}
+
+// Profile returns the generator's benchmark profile.
+func (g *Gen) Profile() Profile { return g.prof }
+
+// Retired returns the total instructions this generator has produced.
+func (g *Gen) Retired() uint64 { return g.retired }
+
+// Barriers returns how many barrier events have been emitted.
+func (g *Gen) Barriers() uint64 { return g.barrierCount }
+
+// ILP returns the current phase's sustainable fraction of the issue
+// width.
+func (g *Gen) ILP() float64 { return g.prof.Phases[g.phaseIdx].ILP }
+
+// PhaseIndex returns the current phase index (for tests and traces).
+func (g *Gen) PhaseIndex() int { return g.phaseIdx }
+
+// scheduleBarrier computes the instruction count at which this thread
+// reaches its next barrier, applying the phase's per-thread imbalance.
+func (g *Gen) scheduleBarrier() {
+	if g.prof.BarrierInterval == 0 {
+		g.nextBarrierAt = ^uint64(0)
+		return
+	}
+	imb := g.prof.Phases[g.phaseIdx].Imbalance
+	jitter := 1 + imb*(2*g.rng.Float64()-1)
+	g.nextBarrierAt = g.retired + uint64(float64(g.prof.BarrierInterval)*jitter)
+}
+
+// advance consumes n retired instructions, moving the phase machine.
+func (g *Gen) advance(n uint64) {
+	g.retired += n
+	for n >= g.phaseLeft {
+		n -= g.phaseLeft
+		g.phaseIdx = (g.phaseIdx + 1) % len(g.prof.Phases)
+		g.phaseLeft = g.prof.Phases[g.phaseIdx].DurInstr
+	}
+	g.phaseLeft -= n
+}
+
+// Next produces the next event.
+func (g *Gen) Next() Event {
+	ph := g.prof.Phases[g.phaseIdx]
+	meanGap := 1/(g.prof.MemRatio*ph.MemScale) - 1
+	gap := uint64(g.rng.ExpFloat64()*meanGap + 0.5)
+
+	// Barrier due before (or at) the next memory event?
+	if g.retired+gap+1 > g.nextBarrierAt {
+		gap = uint64(0)
+		if g.nextBarrierAt > g.retired {
+			gap = g.nextBarrierAt - g.retired
+		}
+		g.advance(gap)
+		g.barrierCount++
+		g.scheduleBarrier()
+		return Event{Gap: gap, Type: Barrier, Addr: BarrierAddr, Shared: true}
+	}
+
+	g.advance(gap + 1) // the access itself retires one instruction
+	ev := Event{Gap: gap}
+	if g.rng.Float64() < g.prof.WriteFrac {
+		ev.Type = Store
+	} else {
+		ev.Type = Load
+	}
+	if g.rng.Float64() < g.prof.ShareFrac {
+		ev.Addr = g.sharedAddr()
+		ev.Shared = true
+	} else {
+		ev.Addr = g.privateAddr()
+	}
+	return ev
+}
+
+// privateAddr models the classic two-component locality of the SPLASH-2
+// and PARSEC kernels: ~90% of accesses reuse a small hot set (stack,
+// loop-local arrays) that fits comfortably in a 16 KB L1, while the rest
+// stream sequentially through the full working set (the capacity-miss
+// component). The resulting private-L1 miss rates land in the 2-5% range
+// the suites exhibit on real hardware.
+func (g *Gen) privateAddr() uint64 {
+	ws := uint64(g.prof.PrivateWSKB) * 1024
+	var off uint64
+	if g.rng.Float64() >= g.prof.Phases[g.phaseIdx].EffectiveStreamFrac() {
+		hot := uint64(privateHotKB) * 1024
+		if hot > ws {
+			hot = ws
+		}
+		off = uint64(g.rng.Int63n(int64(hot/seqWordBytes))) * seqWordBytes
+	} else {
+		g.privPtr = (g.privPtr + seqWordBytes) % ws
+		off = g.privPtr
+	}
+	// Stagger threads in the set-index bits: real allocators place
+	// different threads' stacks and heaps at different low-order
+	// offsets, so their hot sets do not collide in a shared cache.
+	// The XOR permutes within a 128 KB window (16 x 8 KB hot sets).
+	off ^= uint64(g.thread&15) << 13
+	return privateBase | uint64(g.thread)<<28 | off
+}
+
+// privateHotKB is the per-thread hot-set size.
+const privateHotKB = 8
+
+// sharedAddr picks an address in the cluster-shared region, biased
+// toward the hot subset.
+func (g *Gen) sharedAddr() uint64 {
+	ws := uint64(g.prof.SharedWSKB) * 1024
+	var off uint64
+	if g.rng.Float64() < g.prof.HotFrac {
+		off = uint64(g.rng.Int63n(hotRegionBytes/seqWordBytes)) * seqWordBytes
+	} else {
+		off = uint64(g.rng.Int63n(int64(ws/seqWordBytes))) * seqWordBytes
+	}
+	return sharedBase | uint64(g.cluster)<<28 | off
+}
+
+// Instruction-stream constants: one 32-byte fetch block per group.
+// Execution cycles within a small set of favourite inner loops (hot
+// code) with rare transfers between them — real icache hit rates are
+// ~99% on these suites.
+const (
+	fetchBlockBytes = 32
+	innerLoopKB     = 4
+	favouriteLoops  = 3
+	loopTransferP   = 0.002
+)
+
+// NextFetchAddr advances the instruction stream by one fetch group and
+// returns its block address. The walker cycles sequentially through the
+// current inner loop and occasionally transfers to one of the thread's
+// few favourite loop regions within the code footprint. Code addresses
+// are identical across threads (shared program text).
+func (g *Gen) NextFetchAddr() uint64 {
+	code := uint64(g.prof.CodeKB) * 1024
+	loop := uint64(innerLoopKB) * 1024
+	if loop > code {
+		loop = code
+	}
+	if g.rng.Float64() < loopTransferP {
+		// Transfer to another favourite loop region. Favourites are
+		// adjacent regions (one hot code area), as in real kernels.
+		regions := code / loop
+		pick := (uint64(g.anchors[0]) + uint64(g.rng.Intn(len(g.anchors)))) % regions
+		g.codePtr = pick * loop
+	} else {
+		base := g.codePtr / loop * loop
+		g.codePtr = base + (g.codePtr-base+fetchBlockBytes)%loop
+	}
+	return codeBase | g.codePtr
+}

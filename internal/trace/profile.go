@@ -1,0 +1,286 @@
+// Package trace generates the synthetic multi-threaded workloads that
+// stand in for the paper's SPLASH-2 (reference inputs) and PARSEC
+// (sim-small) benchmarks.
+//
+// Real traces are unavailable in this environment, so each benchmark is
+// modeled by a Profile capturing the features the evaluation actually
+// depends on: memory intensity, read/write mix, the fraction of accesses
+// to cluster-shared data, barrier density, working-set and code
+// footprints, and a phase program that modulates achievable ILP and
+// memory-boundedness over time. The phase structure is what the dynamic
+// core-consolidation mechanism exploits (Figures 12-14); sharing and
+// barrier density are what separate the shared-L1 design from the
+// MESI-coherent private baseline (Figure 7). Parameter choices follow
+// the published characterisations of the two suites (e.g. ocean's
+// hundreds of barriers, raytrace's intense read sharing, radix's
+// memory-bound permutation phases, blackscholes' embarrassing
+// parallelism).
+//
+// Generators are fully deterministic given (profile, seed, thread).
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Phase describes one execution phase of a workload.
+type Phase struct {
+	// DurInstr is the phase length in instructions per thread visit.
+	DurInstr uint64
+	// ILP is the fraction of the dual-issue width the phase sustains
+	// (0..1]; low-ILP phases are consolidation opportunities.
+	ILP float64
+	// MemScale multiplies the profile's base memory intensity.
+	MemScale float64
+	// Imbalance is the +/- fractional spread of per-thread work within
+	// the phase; imbalanced phases make threads wait at barriers.
+	Imbalance float64
+	// StreamFrac is the fraction of private accesses that stream
+	// through the full working set instead of reusing the hot set.
+	// Memory-bound phases (radix's permutation, fft's transpose) have
+	// high values: their cores spend most cycles in long cache-miss
+	// stalls, which is exactly the slack core consolidation exploits.
+	// Zero selects the default of 0.10.
+	StreamFrac float64
+}
+
+// EffectiveStreamFrac returns the phase's streaming fraction with the
+// default applied.
+func (p Phase) EffectiveStreamFrac() float64 {
+	if p.StreamFrac == 0 {
+		return 0.10
+	}
+	return p.StreamFrac
+}
+
+// Profile is a synthetic benchmark description.
+type Profile struct {
+	// Name is the benchmark name as used in the paper.
+	Name string
+	// Suite is "splash2" or "parsec".
+	Suite string
+	// MemRatio is the base fraction of instructions that access data
+	// memory.
+	MemRatio float64
+	// WriteFrac is the store share of data accesses.
+	WriteFrac float64
+	// ShareFrac is the fraction of data accesses that touch
+	// cluster-shared data.
+	ShareFrac float64
+	// BarrierInterval is the per-thread instruction distance between
+	// global barriers (0 = no barriers).
+	BarrierInterval uint64
+	// CodeKB is the instruction footprint.
+	CodeKB int
+	// PrivateWSKB is each thread's private working set.
+	PrivateWSKB int
+	// SharedWSKB is the cluster-shared working set.
+	SharedWSKB int
+	// HotFrac is the fraction of shared accesses that hit the small
+	// hot shared region (synchronisation variables, shared tables).
+	HotFrac float64
+	// Phases is the repeating phase program.
+	Phases []Phase
+}
+
+// Validate checks profile consistency.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("profile has no name")
+	case p.MemRatio <= 0 || p.MemRatio >= 1:
+		return fmt.Errorf("%s: mem ratio %v outside (0,1)", p.Name, p.MemRatio)
+	case p.WriteFrac < 0 || p.WriteFrac > 1:
+		return fmt.Errorf("%s: write fraction %v outside [0,1]", p.Name, p.WriteFrac)
+	case p.ShareFrac < 0 || p.ShareFrac > 1:
+		return fmt.Errorf("%s: share fraction %v outside [0,1]", p.Name, p.ShareFrac)
+	case p.CodeKB <= 0 || p.PrivateWSKB <= 0 || p.SharedWSKB <= 0:
+		return fmt.Errorf("%s: footprints must be positive", p.Name)
+	case len(p.Phases) == 0:
+		return fmt.Errorf("%s: no phases", p.Name)
+	}
+	for i, ph := range p.Phases {
+		if ph.DurInstr == 0 || ph.ILP <= 0 || ph.ILP > 1 || ph.MemScale <= 0 {
+			return fmt.Errorf("%s: phase %d invalid: %+v", p.Name, i, ph)
+		}
+		if ph.MemScale*p.MemRatio >= 1 {
+			return fmt.Errorf("%s: phase %d memory intensity >= 1", p.Name, i)
+		}
+		if ph.Imbalance < 0 || ph.Imbalance > 1 {
+			return fmt.Errorf("%s: phase %d imbalance outside [0,1]", p.Name, i)
+		}
+		if ph.StreamFrac < 0 || ph.StreamFrac > 1 {
+			return fmt.Errorf("%s: phase %d stream fraction outside [0,1]", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// profiles is the benchmark table. Phase durations are expressed for the
+// default workload scale; Gen scales them per run.
+var profiles = map[string]Profile{
+	"barnes": {
+		Name: "barnes", Suite: "splash2",
+		MemRatio: 0.30, WriteFrac: 0.30, ShareFrac: 0.15,
+		BarrierInterval: 80_000, CodeKB: 32, PrivateWSKB: 256, SharedWSKB: 512, HotFrac: 0.5,
+		Phases: []Phase{
+			{DurInstr: 60_000, ILP: 0.85, MemScale: 0.9, Imbalance: 0.15},                   // force computation
+			{DurInstr: 30_000, ILP: 0.50, MemScale: 1.3, Imbalance: 0.30, StreamFrac: 0.30}, // tree build
+		},
+	},
+	"cholesky": {
+		Name: "cholesky", Suite: "splash2",
+		MemRatio: 0.28, WriteFrac: 0.30, ShareFrac: 0.12,
+		BarrierInterval: 50_000, CodeKB: 24, PrivateWSKB: 512, SharedWSKB: 512, HotFrac: 0.4,
+		Phases: []Phase{
+			{DurInstr: 50_000, ILP: 0.80, MemScale: 1.0, Imbalance: 0.35},                   // factor supernodes
+			{DurInstr: 25_000, ILP: 0.45, MemScale: 1.4, Imbalance: 0.45, StreamFrac: 0.45}, // sparse scatter
+		},
+	},
+	"fft": {
+		Name: "fft", Suite: "splash2",
+		MemRatio: 0.33, WriteFrac: 0.33, ShareFrac: 0.10,
+		BarrierInterval: 30_000, CodeKB: 16, PrivateWSKB: 512, SharedWSKB: 1024, HotFrac: 0.3,
+		Phases: []Phase{
+			{DurInstr: 40_000, ILP: 0.85, MemScale: 0.8, Imbalance: 0.05},                   // butterfly compute
+			{DurInstr: 25_000, ILP: 0.35, MemScale: 1.6, Imbalance: 0.10, StreamFrac: 0.60}, // transpose (memory-bound)
+		},
+	},
+	"lu": {
+		Name: "lu", Suite: "splash2",
+		MemRatio: 0.30, WriteFrac: 0.35, ShareFrac: 0.10,
+		BarrierInterval: 25_000, CodeKB: 16, PrivateWSKB: 256, SharedWSKB: 512, HotFrac: 0.4,
+		// lu's parallelism decays as the active matrix shrinks — a
+		// slow drift the greedy search tracks imperfectly (Figure 13).
+		Phases: []Phase{
+			{DurInstr: 60_000, ILP: 0.90, MemScale: 0.8, Imbalance: 0.05},
+			{DurInstr: 40_000, ILP: 0.70, MemScale: 1.0, Imbalance: 0.25},
+			{DurInstr: 30_000, ILP: 0.45, MemScale: 1.2, Imbalance: 0.50, StreamFrac: 0.35},
+			{DurInstr: 20_000, ILP: 0.30, MemScale: 1.3, Imbalance: 0.70, StreamFrac: 0.50},
+		},
+	},
+	"ocean": {
+		Name: "ocean", Suite: "splash2",
+		MemRatio: 0.35, WriteFrac: 0.30, ShareFrac: 0.20,
+		// "ocean has hundreds of barriers" — very dense.
+		BarrierInterval: 8_000, CodeKB: 24, PrivateWSKB: 1536, SharedWSKB: 1024, HotFrac: 0.6,
+		Phases: []Phase{
+			{DurInstr: 30_000, ILP: 0.60, MemScale: 1.2, Imbalance: 0.10, StreamFrac: 0.35}, // stencil sweeps
+			{DurInstr: 15_000, ILP: 0.40, MemScale: 1.5, Imbalance: 0.15, StreamFrac: 0.50}, // multigrid restriction
+		},
+	},
+	"radiosity": {
+		Name: "radiosity", Suite: "splash2",
+		MemRatio: 0.27, WriteFrac: 0.25, ShareFrac: 0.25,
+		BarrierInterval: 60_000, CodeKB: 48, PrivateWSKB: 128, SharedWSKB: 512, HotFrac: 0.6,
+		Phases: []Phase{
+			{DurInstr: 50_000, ILP: 0.75, MemScale: 1.0, Imbalance: 0.40},                   // task queues
+			{DurInstr: 25_000, ILP: 0.50, MemScale: 1.2, Imbalance: 0.60, StreamFrac: 0.25}, // visibility
+		},
+	},
+	"radix": {
+		Name: "radix", Suite: "splash2",
+		MemRatio: 0.38, WriteFrac: 0.40, ShareFrac: 0.12,
+		BarrierInterval: 20_000, CodeKB: 8, PrivateWSKB: 2048, SharedWSKB: 1024, HotFrac: 0.3,
+		// Alternating local-histogram (compute) and permutation
+		// (scatter, strongly memory-bound) phases — the trace shown in
+		// Figure 12.
+		Phases: []Phase{
+			{DurInstr: 30_000, ILP: 0.80, MemScale: 0.8, Imbalance: 0.05},                   // histogram
+			{DurInstr: 40_000, ILP: 0.25, MemScale: 1.6, Imbalance: 0.10, StreamFrac: 0.70}, // permutation
+		},
+	},
+	"raytrace": {
+		Name: "raytrace", Suite: "splash2",
+		// Intense read sharing and reuse of scene data — the biggest
+		// winner from the shared L1.
+		MemRatio: 0.28, WriteFrac: 0.15, ShareFrac: 0.35,
+		BarrierInterval: 100_000, CodeKB: 48, PrivateWSKB: 128, SharedWSKB: 512, HotFrac: 0.7,
+		Phases: []Phase{
+			{DurInstr: 60_000, ILP: 0.70, MemScale: 1.0, Imbalance: 0.50}, // ray bundles
+			{DurInstr: 30_000, ILP: 0.55, MemScale: 1.1, Imbalance: 0.65},
+		},
+	},
+	"water-nsquared": {
+		Name: "water-nsquared", Suite: "splash2",
+		MemRatio: 0.25, WriteFrac: 0.25, ShareFrac: 0.15,
+		BarrierInterval: 40_000, CodeKB: 16, PrivateWSKB: 128, SharedWSKB: 256, HotFrac: 0.5,
+		Phases: []Phase{
+			{DurInstr: 70_000, ILP: 0.90, MemScale: 0.8, Imbalance: 0.05}, // pairwise forces
+			{DurInstr: 20_000, ILP: 0.55, MemScale: 1.2, Imbalance: 0.20},
+		},
+	},
+	"blackscholes": {
+		Name: "blackscholes", Suite: "parsec",
+		// Embarrassingly parallel, compute-heavy; never consolidates
+		// below ~6 cores in the paper.
+		MemRatio: 0.22, WriteFrac: 0.15, ShareFrac: 0.03,
+		BarrierInterval: 400_000, CodeKB: 8, PrivateWSKB: 64, SharedWSKB: 128, HotFrac: 0.3,
+		Phases: []Phase{
+			{DurInstr: 100_000, ILP: 0.95, MemScale: 1.0, Imbalance: 0.03},
+			{DurInstr: 40_000, ILP: 0.65, MemScale: 1.2, Imbalance: 0.10},
+		},
+	},
+	"bodytrack": {
+		Name: "bodytrack", Suite: "parsec",
+		MemRatio: 0.30, WriteFrac: 0.25, ShareFrac: 0.20,
+		BarrierInterval: 50_000, CodeKB: 64, PrivateWSKB: 256, SharedWSKB: 512, HotFrac: 0.5,
+		Phases: []Phase{
+			{DurInstr: 45_000, ILP: 0.80, MemScale: 0.9, Imbalance: 0.30},                   // particle weights
+			{DurInstr: 30_000, ILP: 0.40, MemScale: 1.4, Imbalance: 0.55, StreamFrac: 0.40}, // edge maps
+		},
+	},
+	"streamcluster": {
+		Name: "streamcluster", Suite: "parsec",
+		MemRatio: 0.36, WriteFrac: 0.20, ShareFrac: 0.25,
+		BarrierInterval: 15_000, CodeKB: 8, PrivateWSKB: 2048, SharedWSKB: 1024, HotFrac: 0.4,
+		Phases: []Phase{
+			{DurInstr: 35_000, ILP: 0.45, MemScale: 1.4, Imbalance: 0.10, StreamFrac: 0.50}, // distance computation
+			{DurInstr: 20_000, ILP: 0.30, MemScale: 1.6, Imbalance: 0.20, StreamFrac: 0.65}, // reassign/stream
+		},
+	},
+	"swaptions": {
+		Name: "swaptions", Suite: "parsec",
+		MemRatio: 0.24, WriteFrac: 0.20, ShareFrac: 0.02,
+		BarrierInterval: 0, CodeKB: 16, PrivateWSKB: 128, SharedWSKB: 128, HotFrac: 0.3,
+		Phases: []Phase{
+			{DurInstr: 90_000, ILP: 0.92, MemScale: 1.0, Imbalance: 0.08}, // HJM paths
+			{DurInstr: 30_000, ILP: 0.60, MemScale: 1.1, Imbalance: 0.15},
+		},
+	},
+}
+
+// Names returns all benchmark names in the paper's presentation order
+// (SPLASH-2 first, then PARSEC, each alphabetical).
+func Names() []string {
+	var splash, parsec []string
+	for n, p := range profiles {
+		if p.Suite == "splash2" {
+			splash = append(splash, n)
+		} else {
+			parsec = append(parsec, n)
+		}
+	}
+	sort.Strings(splash)
+	sort.Strings(parsec)
+	return append(splash, parsec...)
+}
+
+// ByName returns a benchmark profile.
+func ByName(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustByName is ByName for static names; it panics on unknown names.
+func MustByName(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

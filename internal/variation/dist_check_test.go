@@ -1,0 +1,22 @@
+package variation
+
+import (
+	"testing"
+
+	"respin/internal/config"
+)
+
+// TestDistributionReport logs the multiple distribution over many dies
+// (informational; run with -v).
+func TestDistributionReport(t *testing.T) {
+	tot := map[int]int{}
+	var spread float64
+	for seed := int64(1); seed <= 50; seed++ {
+		m := Generate(seed, 8, 8, config.CoreNTVdd, DefaultParams())
+		for k, v := range m.MultipleCounts() {
+			tot[k] += v
+		}
+		spread += m.SpreadRatio()
+	}
+	t.Logf("multiple counts over 50 dies: %v, mean raw fmax spread: %.2f", tot, spread/50)
+}

@@ -1,0 +1,93 @@
+// Package vcm provides the virtual core monitor's outward-facing view:
+// the virtual-to-physical core ID map that the paper's hardware
+// management system exposes to the OS through ACPI (Section III.A,
+// Figure 4). The OS always sees the full set of homogeneous virtual
+// cores; this package renders and validates the mapping the remapper
+// maintains underneath.
+package vcm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entry is one virtual core's current placement.
+type Entry struct {
+	// Virtual is the OS-visible core id (stable for the whole run).
+	Virtual int
+	// Physical is the hosting physical core, as currently mapped by
+	// the remapper.
+	Physical int
+	// PhysicalActive is false if the mapping is stale (points to a
+	// gated core) — a protocol violation.
+	PhysicalActive bool
+	// Multiple is the hosting core's clock-period multiple.
+	Multiple int
+}
+
+// Table is a snapshot of a cluster's virtual-to-physical map.
+type Table struct {
+	Cluster int
+	Entries []Entry
+}
+
+// Validate checks the invariants the paper's design guarantees: every
+// virtual core is mapped, every mapping targets a powered physical
+// core, and physical ids are within the cluster.
+func (t Table) Validate(clusterSize int) error {
+	if len(t.Entries) != clusterSize {
+		return fmt.Errorf("vcm: %d virtual cores mapped, want %d", len(t.Entries), clusterSize)
+	}
+	for _, e := range t.Entries {
+		if e.Virtual < 0 || e.Virtual >= clusterSize {
+			return fmt.Errorf("vcm: virtual id %d out of range", e.Virtual)
+		}
+		if e.Physical < 0 || e.Physical >= clusterSize {
+			return fmt.Errorf("vcm: vcore %d mapped to invalid pcore %d", e.Virtual, e.Physical)
+		}
+		if !e.PhysicalActive {
+			return fmt.Errorf("vcm: vcore %d mapped to gated pcore %d", e.Virtual, e.Physical)
+		}
+	}
+	return nil
+}
+
+// Consolidation returns physical core -> resident virtual cores.
+func (t Table) Consolidation() map[int][]int {
+	out := make(map[int][]int)
+	for _, e := range t.Entries {
+		out[e.Physical] = append(out[e.Physical], e.Virtual)
+	}
+	return out
+}
+
+// ActivePhysical returns the number of distinct powered hosts in use.
+func (t Table) ActivePhysical() int { return len(t.Consolidation()) }
+
+// Render formats the table in the style of the paper's Figure 4
+// vid-pid map.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster %d virtual-to-physical core map (OS sees %d homogeneous cores)\n",
+		t.Cluster, len(t.Entries))
+	byHost := t.Consolidation()
+	hosts := 0
+	for p := 0; p < len(t.Entries); p++ {
+		vs, ok := byHost[p]
+		if !ok {
+			continue
+		}
+		hosts++
+		var mult int
+		for _, e := range t.Entries {
+			if e.Physical == p {
+				mult = e.Multiple
+				break
+			}
+		}
+		fmt.Fprintf(&b, "  pcore %2d (%d.%dns): vcores %v\n",
+			p, mult*400/1000, mult*400%1000/100, vs)
+	}
+	fmt.Fprintf(&b, "  %d of %d physical cores powered\n", hosts, len(t.Entries))
+	return b.String()
+}

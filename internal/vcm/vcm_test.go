@@ -1,0 +1,64 @@
+package vcm
+
+import (
+	"strings"
+	"testing"
+)
+
+func table() Table {
+	return Table{
+		Cluster: 0,
+		Entries: []Entry{
+			{Virtual: 0, Physical: 0, PhysicalActive: true, Multiple: 4},
+			{Virtual: 1, Physical: 0, PhysicalActive: true, Multiple: 4},
+			{Virtual: 2, Physical: 2, PhysicalActive: true, Multiple: 5},
+			{Virtual: 3, Physical: 3, PhysicalActive: true, Multiple: 6},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := table().Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Table)
+		size   int
+	}{
+		{"missing vcore", func(tb *Table) { tb.Entries = tb.Entries[:3] }, 4},
+		{"bad virtual id", func(tb *Table) { tb.Entries[0].Virtual = 9 }, 4},
+		{"bad physical id", func(tb *Table) { tb.Entries[0].Physical = -1 }, 4},
+		{"gated host", func(tb *Table) { tb.Entries[2].PhysicalActive = false }, 4},
+	}
+	for _, c := range cases {
+		tb := table()
+		c.mutate(&tb)
+		if err := tb.Validate(c.size); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestConsolidationAndActive(t *testing.T) {
+	tb := table()
+	byHost := tb.Consolidation()
+	if len(byHost[0]) != 2 || len(byHost[2]) != 1 || len(byHost[3]) != 1 {
+		t.Errorf("consolidation = %v", byHost)
+	}
+	if tb.ActivePhysical() != 3 {
+		t.Errorf("active physical = %d, want 3", tb.ActivePhysical())
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := table().Render()
+	for _, want := range []string{"cluster 0", "pcore  0", "[0 1]", "3 of 4 physical cores powered", "1.6ns"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q in:\n%s", want, s)
+		}
+	}
+}
