@@ -5,18 +5,21 @@
 // Usage:
 //
 //	respin-bench [-quick] [-quota N] [-trace-quota N] [-benches a,b,c]
-//	             [-only fig9] [-seed N] [-o out.txt] [-q]
+//	             [-only fig9] [-seed N] [-fault-seed N] [-o out.txt] [-q]
 //
 // The full run simulates hundreds of configurations and takes tens of
 // minutes on one core; -quick runs a four-benchmark subset in a few
-// minutes.
+// minutes. SIGINT cancels the evaluation; the sections completed so far
+// are still printed as a partial report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"respin/internal/experiments"
@@ -27,8 +30,9 @@ func main() {
 	quota := flag.Uint64("quota", 0, "override per-thread instruction budget")
 	traceQuota := flag.Uint64("trace-quota", 0, "override consolidation-trace budget")
 	benches := flag.String("benches", "", "comma-separated benchmark subset")
-	only := flag.String("only", "", "run a single experiment: fig1,fig2,tab1,tab3,tab4,vmin,area,variation,workloads,fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14")
+	only := flag.String("only", "", "run a single experiment: fig1,fig2,tab1,tab3,tab4,vmin,area,variation,workloads,fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14,faults")
 	seed := flag.Int64("seed", 0, "override randomness seed")
+	faultSeed := flag.Int64("fault-seed", 0, "override fault-injection seed (faults experiment)")
 	out := flag.String("o", "", "also write the report to this file")
 	jsonOut := flag.String("json", "", "write the comparison summary as JSON to this file")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
@@ -50,9 +54,15 @@ func main() {
 	if *seed != 0 {
 		r.Seed = *seed
 	}
+	if *faultSeed != 0 {
+		r.FaultSeed = *faultSeed
+	}
 	if !*quiet {
 		r.Progress = os.Stderr
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	r.Ctx = ctx
 
 	var text string
 	if *only != "" {
@@ -78,6 +88,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if r.Aborted() {
+		fmt.Fprintln(os.Stderr, "respin-bench: interrupted — report is partial")
+		os.Exit(130)
 	}
 }
 
@@ -112,6 +126,8 @@ func runOne(r *experiments.Runner, id string) string {
 		return r.ConsolidationTrace("lu").Render()
 	case "fig14":
 		return r.Figure14().Render()
+	case "faults":
+		return r.FaultSweep().Render()
 	case "floorplan", "fig2":
 		return experiments.Floorplan()
 	case "vmin":

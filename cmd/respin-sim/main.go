@@ -6,15 +6,24 @@
 //
 //	respin-sim [-config SH-STT] [-bench fft] [-scale medium]
 //	           [-cluster 16] [-quota 150000] [-seed 1] [-trace]
+//	           [-fault-seed 1] [-stt-write-fail P] [-sram-bitflip P]
+//	           [-ecc SECDED] [-kill-cores N] [-kill-cycle C]
+//
+// SIGINT cancels the run; the statistics measured up to the
+// interruption are still reported (marked partial).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"respin/internal/config"
+	"respin/internal/faults"
 	"respin/internal/power"
 	"respin/internal/report"
 	"respin/internal/sim"
@@ -32,6 +41,7 @@ func main() {
 	epochTrace := flag.Bool("trace", false, "print the consolidation trace")
 	dieMap := flag.Bool("diemap", false, "print the variation die map before running")
 	list := flag.Bool("list", false, "list configurations and benchmarks")
+	faultFlags := faults.Bind()
 	flag.Parse()
 
 	if *list {
@@ -62,15 +72,26 @@ func main() {
 		fmt.Print(vm.DieMap(cfg.ClusterSize))
 		fmt.Println()
 	}
-	res, err := sim.Run(cfg, *bench, sim.Options{
-		QuotaInstr: *quota, Seed: *seed, EpochTrace: *epochTrace,
-	})
+	fp, err := faultFlags.Params(cfg.NumClusters())
 	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sim.RunContext(ctx, cfg, *bench, sim.Options{
+		QuotaInstr: *quota, Seed: *seed, EpochTrace: *epochTrace, Faults: fp,
+	})
+	partial := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !partial {
 		fatal(err)
 	}
 
 	fmt.Printf("%v on %s (%v cache, %d-core clusters, %d instr/thread)\n\n",
 		kind, *bench, scale, *cluster, *quota)
+	if partial {
+		fmt.Printf("INTERRUPTED at cycle %d — statistics below are partial\n\n", res.Cycles)
+	}
 	t := report.NewTable("", "metric", "value")
 	t.AddRow("execution time", report.Millis(res.TimePS))
 	t.AddRow("cache cycles", fmt.Sprintf("%d", res.Cycles))
@@ -92,6 +113,13 @@ func main() {
 		t.AddRow("active cores (mean/min/max)", fmt.Sprintf("%.1f / %.0f / %.0f",
 			res.ActiveCores.Mean(), res.ActiveCores.Min(), res.ActiveCores.Max()))
 		t.AddRow("migrations", fmt.Sprintf("%d", res.Stats.Migrations))
+	}
+	if res.Faults.Any() || res.DeadCores > 0 {
+		t.AddRow("STT write retries / aborts", fmt.Sprintf("%d / %d",
+			res.Faults.STTWriteRetries, res.Faults.STTWriteAborts))
+		t.AddRow("SRAM flips corrected / uncorrectable", fmt.Sprintf("%d / %d",
+			res.Faults.SRAMCorrected, res.Faults.SRAMUncorrectable))
+		t.AddRow("cores killed", fmt.Sprintf("%d", res.DeadCores))
 	}
 	fmt.Print(t.String())
 

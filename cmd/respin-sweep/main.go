@@ -6,7 +6,7 @@
 // Usage:
 //
 //	respin-sweep -sweep cluster|epoch|arbitration [-bench fft]
-//	             [-quota N] [-seed N]
+//	             [-quota N] [-seed N] [-fault-seed N] [-stt-write-fail P]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"respin/internal/config"
+	"respin/internal/faults"
 	"respin/internal/report"
 	"respin/internal/sim"
 )
@@ -24,9 +25,17 @@ func main() {
 	bench := flag.String("bench", "fft", "benchmark")
 	quota := flag.Uint64("quota", 100_000, "per-thread instruction budget")
 	seed := flag.Int64("seed", 1, "randomness seed")
+	faultFlags := faults.Bind()
 	flag.Parse()
 
-	opts := sim.Options{QuotaInstr: *quota, Seed: *seed}
+	// Sweeps span cluster sizes, so resolve kills against the smallest
+	// cluster count any sweep point uses (medium scale, 64 cores).
+	fp, err := faultFlags.Params(config.New(config.SHSTT, config.Medium).NumClusters())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "respin-sweep: %v\n", err)
+		os.Exit(2)
+	}
+	opts := sim.Options{QuotaInstr: *quota, Seed: *seed, Faults: fp}
 	switch *sweep {
 	case "cluster":
 		sweepCluster(*bench, opts)

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"respin/internal/config"
+	"respin/internal/faults"
 	"respin/internal/sim"
 )
 
@@ -27,14 +28,20 @@ func main() {
 	quota := flag.Uint64("quota", 400_000, "per-thread instruction budget")
 	seed := flag.Int64("seed", 1, "randomness seed")
 	what := flag.String("what", "trace", "output: trace, histograms")
+	faultFlags := faults.Bind()
 	flag.Parse()
 
 	kind, err := kindByName(*cfgName)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(config.New(kind, config.Medium), *bench, sim.Options{
-		QuotaInstr: *quota, Seed: *seed, EpochTrace: true,
+	cfg := config.New(kind, config.Medium)
+	fp, err := faultFlags.Params(cfg.NumClusters())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(cfg, *bench, sim.Options{
+		QuotaInstr: *quota, Seed: *seed, EpochTrace: true, Faults: fp,
 	})
 	if err != nil {
 		fatal(err)

@@ -28,6 +28,7 @@ import (
 	"respin/internal/coherence"
 	"respin/internal/config"
 	"respin/internal/cpu"
+	"respin/internal/faults"
 	"respin/internal/mem"
 	"respin/internal/power"
 	"respin/internal/sharedcache"
@@ -135,6 +136,7 @@ type edgeGroup struct {
 type pcore struct {
 	spec         variation.CoreSpec
 	active       bool
+	dead         bool // hard core-kill fault: never powered again
 	residents    []int
 	rrIndex      int
 	quantumInstr uint64
@@ -206,6 +208,12 @@ type Cluster struct {
 
 	lower Lower
 	rng   *rand.Rand
+	// faults is the chip-wide injector (nil when nothing is injected);
+	// wrFaults aliases it only for STT-RAM configs, gating the
+	// write-verify-retry draws to the technology that needs them.
+	faults   *faults.Injector
+	wrFaults *faults.Injector
+	deadCnt  int
 
 	events   eventHeap
 	eventSeq uint64
@@ -239,6 +247,8 @@ type Params struct {
 	// done when every virtual core has retired it.
 	QuotaInstr uint64
 	Lower      Lower
+	// Faults is the chip-wide fault injector; nil injects nothing.
+	Faults *faults.Injector
 }
 
 // New builds a cluster.
@@ -263,6 +273,10 @@ func New(p Params) *Cluster {
 		pcores: make([]pcore, n),
 		vcores: make([]vcoreState, n),
 		fills:  make(map[uint64]fillInfo),
+		faults: p.Faults,
+	}
+	if p.Config.Tech == config.STTRAM {
+		cl.wrFaults = p.Faults
 	}
 	cl.Stats.LoadLatency = stats.NewHistogram(300)
 	for i := range cl.pcores {
@@ -298,8 +312,12 @@ func New(p Params) *Cluster {
 	if p.Config.L1 == config.SharedL1 {
 		cl.sharedL1I = mem.NewCache(h.L1I)
 		cl.sharedL1D = mem.NewCache(h.L1D)
-		cl.ctrlI = sharedcache.New(n, sharedcache.WithSeed(p.Seed*7+int64(p.ClusterID)))
-		cl.ctrlD = sharedcache.New(n, sharedcache.WithSeed(p.Seed*11+int64(p.ClusterID)))
+		cl.ctrlI = sharedcache.New(n,
+			sharedcache.WithSeed(p.Seed*7+int64(p.ClusterID)),
+			sharedcache.WithFaults(cl.wrFaults))
+		cl.ctrlD = sharedcache.New(n,
+			sharedcache.WithSeed(p.Seed*11+int64(p.ClusterID)),
+			sharedcache.WithFaults(cl.wrFaults))
 	} else {
 		cl.privI = make([]*mem.Cache, n)
 		for i := range cl.privI {
@@ -307,6 +325,21 @@ func New(p Params) *Cluster {
 		}
 		cl.dir = coherence.New(n, h.L1D)
 		cl.privStoreMiss = make([]int, n)
+	}
+	// Low-voltage SRAM arrays upset on reads; STT-RAM arrays do not
+	// (package reliability's technology argument), so the read-flip hook
+	// attaches only to SRAM-tech hierarchies.
+	if p.Config.Tech == config.SRAM && p.Faults != nil {
+		cl.l2.AttachFaults(p.Faults)
+		if p.Config.L1 == config.SharedL1 {
+			cl.sharedL1I.AttachFaults(p.Faults)
+			cl.sharedL1D.AttachFaults(p.Faults)
+		} else {
+			for i := 0; i < n; i++ {
+				cl.privI[i].AttachFaults(p.Faults)
+				cl.dir.Cache(i).AttachFaults(p.Faults)
+			}
+		}
 	}
 	return cl
 }
@@ -389,6 +422,14 @@ func (cl *Cluster) EpochUtilization() float64 {
 // private-L1 configurations.
 func (cl *Cluster) ControllerD() *sharedcache.Controller { return cl.ctrlD }
 
+// ControllerI exposes the L1I controller; nil for private-L1
+// configurations.
+func (cl *Cluster) ControllerI() *sharedcache.Controller { return cl.ctrlI }
+
+// OutstandingEvents returns the deferred-completion queue depth
+// (deadlock diagnostics: outstanding misses, barrier releases, fills).
+func (cl *Cluster) OutstandingEvents() int { return len(cl.events) }
+
 // Directory exposes the MESI directory; nil for shared configurations.
 func (cl *Cluster) Directory() *coherence.Directory { return cl.dir }
 
@@ -425,7 +466,9 @@ func (cl *Cluster) accrueLeakage() {
 	}
 	ps := int64(dt) * config.CachePeriodPS
 	active := float64(cl.activeCount) * cl.chip.CoreLeakW
-	gated := float64(len(cl.pcores)-cl.activeCount) * cl.chip.CoreGatedLeakW
+	// Dead cores are fused off and leak nothing; gated cores retain
+	// their residual leakage.
+	gated := float64(len(cl.pcores)-cl.activeCount-cl.deadCnt) * cl.chip.CoreGatedLeakW
 	cl.Meter.AddLeakage(power.CoreLeakage, active+gated, ps)
 	cl.lastLeakTick = cl.now
 }

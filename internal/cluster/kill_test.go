@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+
+	"respin/internal/config"
+)
+
+func TestKillCoreRemapsAndCompletes(t *testing.T) {
+	for _, kind := range []config.ArchKind{config.SHSTT, config.PRSTTCC} {
+		cl, _ := buildCluster(t, kind, "fft", 10_000)
+		// Warm up, then kill 6 of 16 cores mid-run.
+		for i := 0; i < 2_000; i++ {
+			cl.Tick()
+		}
+		for i := 0; i < 6; i++ {
+			if !cl.KillCore(i) {
+				t.Fatalf("%v: kill of core %d refused", kind, i)
+			}
+		}
+		cl.validate()
+		if cl.DeadCores() != 6 || cl.AliveCores() != 10 {
+			t.Fatalf("%v: dead=%d alive=%d after 6 kills", kind, cl.DeadCores(), cl.AliveCores())
+		}
+		for i := 0; i < 6; i++ {
+			if cl.PCoreActive(i) {
+				t.Errorf("%v: dead core %d still powered", kind, i)
+			}
+			if len(cl.pcores[i].residents) != 0 {
+				t.Errorf("%v: dead core %d still hosts %d threads", kind, i, len(cl.pcores[i].residents))
+			}
+		}
+		if cl.KillCore(3) {
+			t.Errorf("%v: second kill of core 3 accepted", kind)
+		}
+		if runToCompletion(t, cl, 20_000_000) == 0 {
+			t.Fatalf("%v: degraded cluster did not finish", kind)
+		}
+		if cl.Stats.Instructions < 16*10_000 {
+			t.Errorf("%v: instructions = %d, want >= %d", kind, cl.Stats.Instructions, 16*10_000)
+		}
+		if cl.Stats.Migrations == 0 {
+			t.Errorf("%v: kills caused no migrations", kind)
+		}
+	}
+}
+
+func TestKillCoreNeverRepowered(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTTCC, "fft", 10_000)
+	for i := 0; i < 1_000; i++ {
+		cl.Tick()
+	}
+	if !cl.KillCore(cl.EfficiencyOrder()[0]) {
+		t.Fatal("kill of fastest core refused")
+	}
+	dead := cl.EfficiencyOrder()[0]
+	// Ask for every core: the clamp must stop at the 15 survivors and
+	// the dead core must stay gated.
+	cl.SetActiveCores(16)
+	if cl.ActiveCores() != 15 {
+		t.Errorf("active=%d after requesting 16 with one dead", cl.ActiveCores())
+	}
+	if cl.PCoreActive(dead) {
+		t.Error("dead core re-powered by SetActiveCores")
+	}
+	cl.validate()
+}
+
+func TestKillCoreRefusesLastSurvivor(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTT, "fft", 5_000)
+	killed := 0
+	for i := 0; i < 16; i++ {
+		if cl.KillCore(i) {
+			killed++
+		}
+	}
+	if killed != 15 {
+		t.Fatalf("killed %d cores, want 15 (last survivor refused)", killed)
+	}
+	if cl.AliveCores() != 1 || cl.ActiveCores() != 1 {
+		t.Fatalf("alive=%d active=%d after massacre", cl.AliveCores(), cl.ActiveCores())
+	}
+	cl.validate()
+	if runToCompletion(t, cl, 60_000_000) == 0 {
+		t.Fatal("single-survivor cluster did not finish")
+	}
+}

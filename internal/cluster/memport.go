@@ -147,10 +147,16 @@ func (cl *Cluster) privateMissReady(addr uint64, sourced bool, invalidations int
 }
 
 // chargeL1D accounts one private L1D access (array + level shifting).
+// Private STT-RAM writes run their verify-retry loop inside the array
+// (no controller below them), so a write additionally charges one array
+// write per drawn retry; the store buffer hides the extra latency.
 func (cl *Cluster) chargeL1D(write bool) {
 	e := cl.chip.Energies.L1DRead
 	if write {
 		e = cl.chip.Energies.L1DWrite
+		if r := cl.wrFaults.ArrayWriteRetries(); r > 0 {
+			cl.Meter.AddPJ(power.CacheDynamic, float64(r)*e)
+		}
 	}
 	cl.Meter.AddPJ(power.CacheDynamic, e)
 	cl.shiftEnergy()
@@ -186,15 +192,23 @@ func (cl *Cluster) l2Access(start uint64, addr uint64, write bool) uint64 {
 	} else {
 		cl.Meter.AddPJ(power.CacheDynamic, e.L2Read)
 	}
+	var retryCycles uint64
+	if write {
+		retryCycles = cl.l2WriteRetries()
+		cl.l2NextFree += retryCycles
+	}
 	res := cl.l2.Access(addr, write)
 	if res.Hit {
-		return start + uint64(lat)
+		return start + uint64(lat) + retryCycles
 	}
 	// L2 miss: go below, then fill the L2.
 	cl.Stats.L3Accesses++
 	ready := cl.lower.L3Access(start+uint64(lat), addr, false)
 	fill := cl.l2.Fill(addr, write)
 	cl.Meter.AddPJ(power.CacheDynamic, e.L2Write)
+	// The fill's array write retries off the requester's critical path
+	// (data is forwarded); retries only hold the write port longer.
+	cl.l2NextFree += cl.l2WriteRetries()
 	if fill.Writeback {
 		// The victim writeback occupies the L3 port around the time the
 		// miss is processed; reserving it at the far-future fill time
@@ -212,7 +226,7 @@ func (cl *Cluster) l2Writeback(addr uint64) {
 	if start < cl.l2NextFree {
 		start = cl.l2NextFree
 	}
-	cl.l2NextFree = start + l2OccupancyCycles
+	cl.l2NextFree = start + l2OccupancyCycles + cl.l2WriteRetries()
 	cl.Stats.L2Accesses++
 	cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L2Write)
 	res := cl.l2.Access(addr, true)
@@ -222,4 +236,15 @@ func (cl *Cluster) l2Writeback(addr uint64) {
 			cl.lower.L3Access(start, fill.EvictedAddr, true)
 		}
 	}
+}
+
+// l2WriteRetries draws the L2 STT array's write-verify-retry outcome,
+// charges one array write per retry, and returns the extra port cycles.
+func (cl *Cluster) l2WriteRetries() uint64 {
+	r := cl.wrFaults.ArrayWriteRetries()
+	if r == 0 {
+		return 0
+	}
+	cl.Meter.AddPJ(power.CacheDynamic, float64(r)*cl.chip.Energies.L2Write)
+	return uint64(r) * uint64(cl.chip.Latencies.L2Write)
 }

@@ -23,12 +23,18 @@ import (
 //   - with private L1s (PR-STT-CC), a gated core's caches are flushed,
 //     so its threads lose all cache locality.
 func (cl *Cluster) SetActiveCores(n int) {
+	alive := len(cl.pcores) - cl.deadCnt
 	min := cl.cfg.ConsolidationParams.MinActiveCores
+	if min > alive {
+		// Graceful degradation: core-kill faults may leave fewer
+		// survivors than the configured floor.
+		min = alive
+	}
 	if n < min {
 		n = min
 	}
-	if n > len(cl.pcores) {
-		n = len(cl.pcores)
+	if n > alive {
+		n = alive
 	}
 	if n == cl.activeCount {
 		return
@@ -36,19 +42,14 @@ func (cl *Cluster) SetActiveCores(n int) {
 	cl.accrueLeakage()
 
 	pp := cl.cfg.ConsolidationParams
-	order := cl.order
-	if pp.PreferSlowCores {
-		order = make([]int, len(cl.order))
-		for i, id := range cl.order {
-			order[len(cl.order)-1-i] = id
-		}
-	}
+	order := cl.aliveOrder()
 	wantActive := make([]bool, len(cl.pcores))
 	for _, id := range order[:n] {
 		wantActive[id] = true
 	}
 
-	// Power transitions.
+	// Power transitions. Dead cores are never in wantActive, so they
+	// can never be re-powered.
 	for i := range cl.pcores {
 		p := &cl.pcores[i]
 		switch {
@@ -56,11 +57,7 @@ func (cl *Cluster) SetActiveCores(n int) {
 			p.active = false
 			if cl.cfg.L1 == config.PrivateL1 {
 				// The gated core's private caches are lost.
-				_, wbs := cl.dir.FlushCore(i)
-				for k := 0; k < wbs; k++ {
-					cl.l2Writeback(0)
-				}
-				cl.privI[i].Clear()
+				cl.flushPrivateCaches(i)
 			}
 		case !p.active && wantActive[i]:
 			p.active = true
@@ -69,19 +66,54 @@ func (cl *Cluster) SetActiveCores(n int) {
 		}
 	}
 	cl.activeCount = n
+	cl.redistribute(order)
+}
 
-	// Only displaced virtual cores move (Section III.C): threads on a
-	// deconfigured core are reassigned round-robin over the active
-	// cores starting with the most efficient; a newly powered core
-	// pulls threads from the most-loaded hosts until load is balanced.
-	active := make([]int, 0, n)
+// aliveOrder returns the remapper's preference order over surviving
+// cores: efficiency order (or its inverse under the PreferSlowCores
+// ablation) with dead cores removed.
+func (cl *Cluster) aliveOrder() []int {
+	src := cl.order
+	if cl.cfg.ConsolidationParams.PreferSlowCores {
+		rev := make([]int, len(cl.order))
+		for i, id := range cl.order {
+			rev[len(cl.order)-1-i] = id
+		}
+		src = rev
+	}
+	order := make([]int, 0, len(src))
+	for _, id := range src {
+		if !cl.pcores[id].dead {
+			order = append(order, id)
+		}
+	}
+	return order
+}
+
+// flushPrivateCaches models the loss of a gated or dead core's private
+// cache state (PR-STT-CC): dirty L1D lines write back through the L2.
+func (cl *Cluster) flushPrivateCaches(i int) {
+	_, wbs := cl.dir.FlushCore(i)
+	for k := 0; k < wbs; k++ {
+		cl.l2Writeback(0)
+	}
+	cl.privI[i].Clear()
+}
+
+// redistribute reassigns virtual cores after the active set changed.
+// Only displaced virtual cores move (Section III.C): threads on a
+// deconfigured core are reassigned round-robin over the active cores
+// starting with the most efficient; a newly powered core pulls threads
+// from the most-loaded hosts until load is balanced.
+func (cl *Cluster) redistribute(order []int) {
+	active := make([]int, 0, cl.activeCount)
 	for _, id := range order {
 		if cl.pcores[id].active {
 			active = append(active, id)
 		}
 	}
 
-	// Orphans: residents of now-inactive cores.
+	// Orphans: residents of now-inactive (or dead) cores.
 	var orphans []int
 	for i := range cl.pcores {
 		if cl.pcores[i].active {
@@ -99,7 +131,7 @@ func (cl *Cluster) SetActiveCores(n int) {
 	cl.assignPtr = (cl.assignPtr + len(orphans)) % maxInt(len(active), 1)
 
 	// Rebalance toward newly powered (empty) cores.
-	targetLoad := (len(cl.vcores) + n - 1) / n
+	targetLoad := (len(cl.vcores) + len(active) - 1) / maxInt(len(active), 1)
 	for _, id := range active {
 		for len(cl.pcores[id].residents) < targetLoad {
 			src := cl.mostLoaded(id)
@@ -124,6 +156,54 @@ func (cl *Cluster) SetActiveCores(n int) {
 		cl.resetQuantum(i)
 	}
 }
+
+// KillCore delivers a hard core-kill fault to physical core i: the core
+// is permanently removed from the cluster (it can never be re-powered)
+// and its resident virtual cores are remapped round-robin over the
+// survivors — the VCM's graceful-degradation path, a direct reuse of the
+// consolidation remapper. With private L1s the dead core's cache state
+// is lost, exactly as on power gating. It reports false when the core is
+// already dead or is the last survivor (the cluster refuses to die
+// entirely — a real chip would be decommissioned, not simulated).
+func (cl *Cluster) KillCore(i int) bool {
+	if i < 0 || i >= len(cl.pcores) {
+		return false
+	}
+	p := &cl.pcores[i]
+	if p.dead || len(cl.pcores)-cl.deadCnt <= 1 {
+		return false
+	}
+	cl.accrueLeakage()
+	p.dead = true
+	cl.deadCnt++
+	if p.active {
+		p.active = false
+		cl.activeCount--
+		if cl.cfg.L1 == config.PrivateL1 {
+			cl.flushPrivateCaches(i)
+		}
+	}
+	// If the dead core was the last active one, resurrect the fastest
+	// survivor (with the usual power-up stall) so execution continues.
+	if cl.activeCount == 0 {
+		for _, id := range cl.aliveOrder() {
+			q := &cl.pcores[id]
+			q.active = true
+			q.stallUntil = cl.now + uint64(cl.cfg.ConsolidationParams.PowerUpStallPS/config.CachePeriodPS)
+			cl.Stats.PowerUps++
+			cl.activeCount = 1
+			break
+		}
+	}
+	cl.redistribute(cl.aliveOrder())
+	return true
+}
+
+// DeadCores returns how many physical cores have been killed.
+func (cl *Cluster) DeadCores() int { return cl.deadCnt }
+
+// AliveCores returns how many physical cores survive.
+func (cl *Cluster) AliveCores() int { return len(cl.pcores) - cl.deadCnt }
 
 // mostLoaded returns the active pcore with the most residents, excluding
 // `except`, or -1.

@@ -116,6 +116,11 @@ func (cl *Cluster) submitFill(f fillInfo) {
 // elapsed; now the array access happens.
 func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 	e := &cl.chip.Energies
+	// Each verify-failed write attempt burned one array write's energy
+	// before the controller re-arbitrated it.
+	if s.WriteRetries > 0 {
+		cl.Meter.AddPJ(power.CacheDynamic, float64(s.WriteRetries)*e.L1DWrite)
+	}
 	switch tagKind(s.Req.Tag) {
 	case tagLoad:
 		v := tagVCore(s.Req.Tag)
@@ -171,6 +176,9 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 // serviceI handles one serviced L1I request.
 func (cl *Cluster) serviceI(s sharedcache.Serviced) {
 	e := &cl.chip.Energies
+	if s.WriteRetries > 0 {
+		cl.Meter.AddPJ(power.CacheDynamic, float64(s.WriteRetries)*e.L1IWrite)
+	}
 	switch tagKind(s.Req.Tag) {
 	case tagIFetch:
 		v := tagVCore(s.Req.Tag)

@@ -29,6 +29,15 @@ type Suite struct {
 func (r *Runner) All() *Suite {
 	s := &Suite{}
 	add := func(sec string) { s.Sections = append(s.Sections, sec) }
+	// interrupted truncates the evaluation after Ctx cancellation:
+	// completed sections survive into a partial report.
+	interrupted := func() bool {
+		if r.Aborted() {
+			add("[interrupted: evaluation truncated — only the sections above completed]")
+			return true
+		}
+		return false
+	}
 	cmp := func(id, metric, paper string, format string, args ...any) {
 		s.Comparisons = append(s.Comparisons, Comparison{
 			ID: id, Metric: metric, Paper: paper, Measured: fmt.Sprintf(format, args...),
@@ -68,6 +77,10 @@ func (r *Runner) All() *Suite {
 	// Workload characterisation (methodology).
 	add(r.WorkloadTable().Render())
 
+	if interrupted() {
+		return s
+	}
+
 	// Power (Figure 6).
 	f6 := r.Figure6()
 	add(f6.Render())
@@ -75,12 +88,20 @@ func (r *Runner) All() *Suite {
 	cmp("fig6", "SH-STT power reduction, medium", "12.9%", "%.1f%%", 100*f6.Reduction(config.Medium))
 	cmp("fig6", "SH-STT power reduction, large", "22.1%", "%.1f%%", 100*f6.Reduction(config.Large))
 
+	if interrupted() {
+		return s
+	}
+
 	// Performance (Figure 7).
 	f7 := r.Figure7()
 	add(f7.Render())
 	cmp("fig7", "SH-STT execution time vs baseline", "0.89 (11% faster)", "%.3f", f7.Mean(config.SHSTT))
 	cmp("fig7", "SH-STT vs SH-SRAM-Nom speed edge", "~1.2% faster", "%.1f%% faster",
 		100*(1-f7.Mean(config.SHSTT)/f7.Mean(config.SHSRAMNom)))
+
+	if interrupted() {
+		return s
+	}
 
 	// Energy by scale (Figure 8).
 	f8 := r.Figure8()
@@ -90,6 +111,10 @@ func (r *Runner) All() *Suite {
 		f8.Normalized[config.Small][config.SHSTT],
 		f8.Normalized[config.Medium][config.SHSTT],
 		f8.Normalized[config.Large][config.SHSTT])
+
+	if interrupted() {
+		return s
+	}
 
 	// Energy per benchmark (Figure 9).
 	f9 := r.Figure9()
@@ -103,6 +128,10 @@ func (r *Runner) All() *Suite {
 	cmp("fig9", "SH-STT-CC-OS vs SH-STT", "+27%", "%+.0f%%",
 		100*(f9.Mean(config.SHSTTCCOS)/f9.Mean(config.SHSTT)-1))
 
+	if interrupted() {
+		return s
+	}
+
 	// Cluster-size sweep (Section V.D).
 	sweep := r.ClusterSweep()
 	add(sweep.Render())
@@ -113,6 +142,10 @@ func (r *Runner) All() *Suite {
 			"%.1f%%", 100*row.SpeedupVsBase)
 	}
 
+	if interrupted() {
+		return s
+	}
+
 	// Shared-cache behaviour (Figures 10 and 11).
 	f10 := r.Figure10()
 	add(f10.Render())
@@ -121,6 +154,10 @@ func (r *Runner) All() *Suite {
 	add(f11.Render())
 	cmp("fig11", "reads serviced in 1 core cycle", "95.8%", "%.1f%%", 100*f11.OneCycleFraction())
 	cmp("fig11", "half-miss rate", "~4%", "%.1f%%", 100*f11.HalfMissRate)
+
+	if interrupted() {
+		return s
+	}
 
 	// Consolidation traces (Figures 12 and 13).
 	for _, bench := range []string{"radix", "lu"} {
@@ -136,6 +173,10 @@ func (r *Runner) All() *Suite {
 			cmp("fig13", "lu energy saving, greedy vs oracle", "29% / 38%",
 				"%.0f%% / %.0f%%", 100*tr.GreedySaving, 100*tr.OracleSaving)
 		}
+	}
+
+	if interrupted() {
+		return s
 	}
 
 	// Active cores (Figure 14).

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"respin/internal/config"
+	"respin/internal/faults"
+	"respin/internal/reliability"
+	"respin/internal/report"
+	"respin/internal/sim"
+)
+
+// FaultRow is one point of the resilience study.
+type FaultRow struct {
+	Label string
+	// Injection knobs for this point.
+	STTWriteFailProb float64
+	KillPerCluster   int
+	SRAMFromRail     bool
+	// Measured outcome.
+	Cycles    uint64
+	Slowdown  float64 // time vs the same config fault-free
+	EnergyRel float64 // energy vs the same config fault-free
+	Counts    faults.Counts
+	DeadCores int
+}
+
+// FaultStudy is the fault-injection resilience sweep: how gracefully the
+// shared-STT design degrades under stochastic write failures, how the
+// near-threshold SRAM baseline behaves under voltage-induced read upsets
+// with SECDED, and how the VCM's consolidation remapper survives hard
+// core-kill faults.
+type FaultStudy struct {
+	Bench string
+	Rows  []FaultRow
+}
+
+// FaultSweep runs the resilience study on one representative benchmark.
+// Three sweeps share the table:
+//
+//   - STT write-fail rates on SH-STT: every failed verify re-arbitrates
+//     through the L1 controller (or retries in the L2/L3 array), so time
+//     and energy rise smoothly with the rate and nothing deadlocks;
+//   - rail-derived SRAM read upsets on PR-SRAM-NT with SECDED: flips are
+//     corrected on the fly and counted;
+//   - hard core-kill faults on SH-STT-CC: n of every cluster's 16 cores
+//     die at cycle 20k and the VCM remaps their threads onto survivors.
+func (r *Runner) FaultSweep() *FaultStudy {
+	bench := r.Benches[0]
+	if contains(r.Benches, "radix") {
+		bench = "radix"
+	}
+	st := &FaultStudy{Bench: bench}
+
+	// STT write failures (SH-STT, no consolidation: isolates the
+	// retry cost).
+	clean := r.runFault("clean", config.SHSTT, bench, faults.Params{})
+	st.addRow("SH-STT clean", clean, clean, 0, 0, false)
+	for _, p := range []float64{1e-4, 1e-3, 1e-2} {
+		fp := faults.Params{Seed: r.faultSeed(), STTWriteFailProb: p}
+		res := r.runFault(fmt.Sprintf("stt-%g", p), config.SHSTT, bench, fp)
+		st.addRow(fmt.Sprintf("SH-STT write-fail %g", p), res, clean, p, 0, false)
+	}
+
+	// Near-threshold SRAM read upsets, SECDED-corrected (PR-SRAM-NT is
+	// the paper's unreliable-at-NT baseline; its rail-derived cell
+	// upset rate is what motivates the dual-rail design).
+	sramClean := r.runFault("clean", config.PRSRAMNT, bench, faults.Params{})
+	fp := faults.Params{Seed: r.faultSeed(), SRAMBitFlipPerCell: -1, ECC: reliability.SECDED}
+	sram := r.runFault("sram-rail", config.PRSRAMNT, bench, fp)
+	st.addRow("PR-SRAM-NT rail upsets+SECDED", sram, sramClean, 0, 0, true)
+
+	// Core kills (SH-STT-CC: the consolidation remapper doubles as the
+	// graceful-degradation mechanism).
+	killClean := r.runFault("clean", config.SHSTTCC, bench, faults.Params{})
+	st.addRow("SH-STT-CC clean", killClean, killClean, 0, 0, false)
+	for _, n := range []int{2, 4, 6} {
+		fp := faults.Params{
+			Seed:  r.faultSeed(),
+			Kills: faults.KillFirstN(config.New(config.SHSTTCC, config.Medium).NumClusters(), n, 20_000),
+		}
+		res := r.runFault(fmt.Sprintf("kill-%d", n), config.SHSTTCC, bench, fp)
+		st.addRow(fmt.Sprintf("SH-STT-CC kill %d/16 cores", n), res, killClean, 0, n, false)
+	}
+	return st
+}
+
+func (r *Runner) faultSeed() int64 {
+	if r.FaultSeed != 0 {
+		return r.FaultSeed
+	}
+	return 1
+}
+
+// runFault executes (or recalls) one fault-injected simulation.
+func (r *Runner) runFault(tag string, kind config.ArchKind, bench string, fp faults.Params) sim.Result {
+	key := fmt.Sprintf("fault|%s|%v|%s|%d", tag, kind, bench, r.Quota)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	cfg := config.New(kind, config.Medium)
+	res, err := sim.RunContext(r.ctx(), cfg, bench, sim.Options{
+		QuotaInstr: r.Quota,
+		Seed:       r.Seed,
+		Faults:     fp,
+	})
+	if err != nil {
+		if r.ctx().Err() != nil {
+			r.setAborted()
+			return res
+		}
+		panic(fmt.Sprintf("experiments: fault sweep %s %v %s (seed %d, fault seed %d): %v",
+			tag, kind, bench, r.Seed, fp.Seed, err))
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "ran %-16v fault:%-10s %-14s: %8d kcycles, %s\n",
+			kind, tag, bench, res.Cycles/1000, fmtEnergy(res.EnergyPJ))
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+func (st *FaultStudy) addRow(label string, res, clean sim.Result, p float64, kills int, fromRail bool) {
+	row := FaultRow{
+		Label:            label,
+		STTWriteFailProb: p,
+		KillPerCluster:   kills,
+		SRAMFromRail:     fromRail,
+		Cycles:           res.Cycles,
+		Counts:           res.Faults,
+		DeadCores:        res.DeadCores,
+	}
+	if clean.Cycles > 0 {
+		row.Slowdown = float64(res.Cycles) / float64(clean.Cycles)
+	}
+	if clean.EnergyPJ > 0 {
+		row.EnergyRel = res.EnergyPJ / clean.EnergyPJ
+	}
+	st.Rows = append(st.Rows, row)
+}
+
+// Render prints the degradation report.
+func (st *FaultStudy) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Fault injection & resilience (%s, medium)", st.Bench),
+		"scenario", "time", "energy", "wr retries", "wr aborts",
+		"ecc corr", "ecc uncorr", "dead cores")
+	for _, row := range st.Rows {
+		t.AddRow(row.Label,
+			fmt.Sprintf("%.3fx", row.Slowdown),
+			fmt.Sprintf("%.3fx", row.EnergyRel),
+			fmt.Sprintf("%d", row.Counts.STTWriteRetries),
+			fmt.Sprintf("%d", row.Counts.STTWriteAborts),
+			fmt.Sprintf("%d", row.Counts.SRAMCorrected),
+			fmt.Sprintf("%d", row.Counts.SRAMUncorrectable),
+			fmt.Sprintf("%d", row.DeadCores))
+	}
+	return t.String()
+}

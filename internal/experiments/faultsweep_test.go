@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepShape(t *testing.T) {
+	r := tinyRunner()
+	r.Quota = 10_000
+	st := r.FaultSweep()
+	if st.Bench != "radix" {
+		t.Errorf("sweep ran on %s, want radix", st.Bench)
+	}
+	if len(st.Rows) != 9 {
+		t.Fatalf("sweep produced %d rows, want 9", len(st.Rows))
+	}
+	// STT rows: retries grow monotonically with the rate, clean rows
+	// inject nothing.
+	if st.Rows[0].Counts.Any() {
+		t.Errorf("clean row counted faults: %+v", st.Rows[0].Counts)
+	}
+	var prev uint64
+	for _, row := range st.Rows[1:4] {
+		if row.Counts.STTWriteRetries <= prev {
+			t.Errorf("%s: retries %d not above previous rate's %d",
+				row.Label, row.Counts.STTWriteRetries, prev)
+		}
+		if row.Slowdown < 1 {
+			t.Errorf("%s: faulty run faster than clean (%.3fx)", row.Label, row.Slowdown)
+		}
+		prev = row.Counts.STTWriteRetries
+	}
+	// SRAM row: SECDED at the 0.65 V rail corrects everything.
+	sram := st.Rows[4]
+	if sram.Counts.SRAMCorrected == 0 || sram.Counts.SRAMUncorrectable != 0 {
+		t.Errorf("rail+SECDED row: %+v", sram.Counts)
+	}
+	// Kill rows: dead cores scale, slowdown grows with kills.
+	for i, want := range []int{8, 16, 24} {
+		row := st.Rows[6+i]
+		if row.DeadCores != want {
+			t.Errorf("%s: %d dead cores, want %d", row.Label, row.DeadCores, want)
+		}
+		if row.Slowdown <= 1 {
+			t.Errorf("%s: no degradation (%.3fx)", row.Label, row.Slowdown)
+		}
+	}
+	out := st.Render()
+	for _, frag := range []string{"Fault injection", "kill 6/16", "SECDED"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+func TestRunnerCancelledContext(t *testing.T) {
+	r := tinyRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r.Ctx = ctx
+	s := r.All()
+	if !r.Aborted() {
+		t.Fatal("runner did not notice the cancelled context")
+	}
+	// The static sections complete; the simulation-backed ones are
+	// replaced by the truncation marker.
+	joined := strings.Join(s.Sections, "\n")
+	if !strings.Contains(joined, "interrupted") {
+		t.Error("partial report missing truncation marker")
+	}
+	if !strings.Contains(joined, "Figure 1") {
+		t.Error("partial report lost the completed static sections")
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -25,13 +26,43 @@ type Runner struct {
 	TraceQuota uint64
 	// Seed drives all randomness.
 	Seed int64
+	// FaultSeed drives fault-injection randomness in the fault sweep
+	// (deliberately distinct from Seed); zero selects 1.
+	FaultSeed int64
 	// Benches is the benchmark list (default: all 13).
 	Benches []string
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Ctx, when non-nil, cancels in-flight simulations: after
+	// cancellation each run returns its partial result, Aborted
+	// reports true, and All truncates to a partial report instead of
+	// discarding completed sections.
+	Ctx context.Context
 
-	mu    sync.Mutex
-	cache map[string]sim.Result
+	mu      sync.Mutex
+	cache   map[string]sim.Result
+	aborted bool
+}
+
+// ctx returns the cancellation context (Background when unset).
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// Aborted reports whether a run was cut short by Ctx cancellation.
+func (r *Runner) Aborted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aborted
+}
+
+func (r *Runner) setAborted() {
+	r.mu.Lock()
+	r.aborted = true
+	r.mu.Unlock()
 }
 
 // NewRunner returns the full-fidelity runner used by cmd/respin-bench.
@@ -68,13 +99,16 @@ func (r *Runner) run(kind config.ArchKind, scale config.CacheScale, clusterSize 
 	r.mu.Unlock()
 
 	cfg := config.NewWithCluster(kind, scale, clusterSize)
-	res, err := sim.Run(cfg, bench, sim.Options{
-		QuotaInstr: quota,
-		Seed:       r.Seed,
-		EpochTrace: epochTrace,
-	})
+	res, err := r.runSim(cfg, bench, quota, epochTrace)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		if r.ctx().Err() != nil {
+			// Cancelled mid-run: remember, hand back the partial
+			// result uncached, and let the driver truncate its report.
+			r.setAborted()
+			return res
+		}
+		panic(fmt.Sprintf("experiments: %v %v cl%d %s (seed %d, quota %d): %v",
+			kind, scale, clusterSize, bench, r.Seed, quota, err))
 	}
 	if r.Progress != nil {
 		fmt.Fprintf(r.Progress, "ran %-16v %-6v cl%-2d %-14s: %8d kcycles, %s\n",
@@ -84,6 +118,24 @@ func (r *Runner) run(kind config.ArchKind, scale config.CacheScale, clusterSize 
 	r.cache[key] = res
 	r.mu.Unlock()
 	return res
+}
+
+// runSim executes one simulation with panic attribution: a panic inside
+// the simulator is recovered, stamped with the run's full identity
+// (configuration, benchmark, seeds), and re-raised, so a crash in a
+// hundreds-of-runs evaluation names the one run that caused it.
+func (r *Runner) runSim(cfg config.Config, bench string, quota uint64, epochTrace bool) (res sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			panic(fmt.Sprintf("experiments: panic during %v/%v cl%d %s (seed %d, quota %d): %v",
+				cfg.Kind, cfg.Scale, cfg.ClusterSize, bench, r.Seed, quota, p))
+		}
+	}()
+	return sim.RunContext(r.ctx(), cfg, bench, sim.Options{
+		QuotaInstr: quota,
+		Seed:       r.Seed,
+		EpochTrace: epochTrace,
+	})
 }
 
 // medium is shorthand for the default configuration point.

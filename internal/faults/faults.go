@@ -1,0 +1,348 @@
+// Package faults is the chip-wide fault-injection engine: a
+// deterministic, seed-driven source of the error events the paper's
+// reliability argument (Section I) rests on, so that the simulator can
+// *survive* and *measure* faults instead of merely computing their
+// probabilities analytically (package reliability does that part).
+//
+// Three error mechanisms are modeled:
+//
+//   - Stochastic STT-RAM write failures. MTJ switching is thermally
+//     activated, so a write pulse fails to flip the cell with a small
+//     probability; relaxed-retention STT-RAM designs (ARC, and the
+//     write-failure-aware schemes surveyed by Mittal) handle this with a
+//     write-verify-and-retry loop. Package sharedcache re-arbitrates
+//     failed writes through the controller; the L2/L3 write paths retry
+//     in the array.
+//
+//   - Voltage-dependent SRAM read bit flips. Near-threshold SRAM cells
+//     upset at exponentially increasing rates as Vdd falls (the
+//     CellFailProb law of package reliability); each read of a protected
+//     word draws a binomial flip count and the configured ECC scheme
+//     either corrects it or detects an uncorrectable word.
+//
+//   - Hard core-kill faults. A physical core dies at a scheduled cycle;
+//     the cluster's virtual core monitor survives by remapping virtual
+//     cores around the dead core (graceful degradation).
+//
+// Determinism: the injector derives one private RNG stream per error
+// mechanism from a single fault seed, so fault randomness never perturbs
+// workload or arbitration randomness, and two runs with identical seeds
+// produce bit-identical event sequences. With every rate at zero no
+// stream is ever drawn from, so a zero-rate injector is behaviourally
+// identical to no injector at all.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"respin/internal/reliability"
+)
+
+// Stream seed offsets: each mechanism gets an independent RNG derived
+// from the fault seed, so adding draws to one mechanism cannot shift
+// another's sequence.
+const (
+	sttStreamSalt  = 0x5151
+	sramStreamSalt = 0xECC0
+)
+
+// DefaultMaxWriteRetries bounds the write-verify-retry loop. Eight
+// attempts drive the residual failure probability of a p=0.01 cell below
+// 1e-16 — effectively the "bounded retries" point beyond which a real
+// controller would declare the line bad.
+const DefaultMaxWriteRetries = 8
+
+// KillSpec schedules one hard core-kill fault.
+type KillSpec struct {
+	// Cluster and Core locate the physical core (cluster-local id).
+	Cluster, Core int
+	// Cycle is the cache cycle at which the core dies.
+	Cycle uint64
+}
+
+// Params configures the injector. The zero value injects nothing.
+type Params struct {
+	// Seed drives all fault randomness. It is deliberately distinct
+	// from sim.Options.Seed (workload/arbitration randomness); zero
+	// selects 1.
+	Seed int64
+	// STTWriteFailProb is the per-attempt probability that an STT-RAM
+	// write fails its verify pass and must be retried.
+	STTWriteFailProb float64
+	// MaxWriteRetries bounds the verify-retry loop; zero selects
+	// DefaultMaxWriteRetries. After the bound the write is declared
+	// aborted (counted, simulation continues — a real controller would
+	// remap the line).
+	MaxWriteRetries int
+	// SRAMBitFlipPerCell is the per-cell, per-read probability that an
+	// SRAM bit reads upset. Negative means "derive from the rail": the
+	// caller substitutes reliability.CellFailProb at the cache Vdd.
+	SRAMBitFlipPerCell float64
+	// ECC is the scheme protecting SRAM words (NoECC leaves every upset
+	// bit uncorrectable; the CLI defaults to SECDED).
+	ECC reliability.ECC
+	// HaltOnUncorrectable aborts the run on the first detected
+	// uncorrectable word instead of counting and continuing.
+	HaltOnUncorrectable bool
+	// Kills schedules hard core-kill faults.
+	Kills []KillSpec
+}
+
+// withDefaults resolves zero-value knobs.
+func (p Params) withDefaults() Params {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.MaxWriteRetries <= 0 {
+		p.MaxWriteRetries = DefaultMaxWriteRetries
+	}
+	return p
+}
+
+// Enabled reports whether the parameters inject any fault at all.
+func (p Params) Enabled() bool {
+	return p.STTWriteFailProb > 0 || p.SRAMBitFlipPerCell != 0 || len(p.Kills) > 0
+}
+
+// Validate checks rates and kill coordinates against the chip shape.
+func (p Params) Validate(numClusters, clusterSize int) error {
+	if p.STTWriteFailProb < 0 || p.STTWriteFailProb >= 1 {
+		return fmt.Errorf("faults: STT write-fail probability %g outside [0,1)", p.STTWriteFailProb)
+	}
+	if p.SRAMBitFlipPerCell >= 1 {
+		return fmt.Errorf("faults: SRAM bit-flip probability %g must be below 1", p.SRAMBitFlipPerCell)
+	}
+	for i, k := range p.Kills {
+		if k.Cluster < 0 || k.Cluster >= numClusters {
+			return fmt.Errorf("faults: kill %d targets cluster %d of %d", i, k.Cluster, numClusters)
+		}
+		if k.Core < 0 || k.Core >= clusterSize {
+			return fmt.Errorf("faults: kill %d targets core %d of cluster size %d", i, k.Core, clusterSize)
+		}
+	}
+	return nil
+}
+
+// Counts aggregates injected-fault events chip-wide. It is plain data so
+// it can be embedded in sim.Result and compared across runs.
+type Counts struct {
+	// STTWriteFailures counts failed write-verify attempts;
+	// STTWriteRetries counts the re-issued attempts they triggered
+	// (equal unless a write exhausted its retry budget); STTWriteAborts
+	// counts writes that hit MaxWriteRetries and gave up.
+	STTWriteFailures, STTWriteRetries, STTWriteAborts uint64
+	// SRAMReadFlips counts reads that saw at least one upset bit;
+	// SRAMCorrected and SRAMUncorrectable split them by ECC outcome.
+	SRAMReadFlips, SRAMCorrected, SRAMUncorrectable uint64
+	// CoreKills counts hard core-kill faults delivered.
+	CoreKills uint64
+}
+
+// Any reports whether any fault event was recorded.
+func (c Counts) Any() bool { return c != Counts{} }
+
+// Injector is the chip-wide fault source. A nil *Injector is valid and
+// injects nothing — every method is nil-receiver safe — so fault-free
+// runs pay a single pointer test per hook.
+type Injector struct {
+	p    Params
+	stt  *rand.Rand
+	sram *rand.Rand
+	// noFlip is (1-p)^wordLen, the probability a whole protected word
+	// reads clean — precomputed so the common case costs one draw.
+	noFlip  float64
+	wordLen int
+	kills   []KillSpec // sorted by cycle
+
+	Counts Counts
+}
+
+// New builds an injector, or returns nil when the parameters inject
+// nothing (so the zero-rate path is bit-identical to no injector).
+func New(p Params) *Injector {
+	if !p.Enabled() {
+		return nil
+	}
+	p = p.withDefaults()
+	in := &Injector{
+		p:       p,
+		stt:     rand.New(rand.NewSource(p.Seed*61 + sttStreamSalt)),
+		sram:    rand.New(rand.NewSource(p.Seed*67 + sramStreamSalt)),
+		wordLen: 64 + p.ECC.CheckBits(),
+	}
+	if p.SRAMBitFlipPerCell > 0 {
+		in.noFlip = math.Pow(1-p.SRAMBitFlipPerCell, float64(in.wordLen))
+	}
+	in.kills = append(in.kills, p.Kills...)
+	sort.SliceStable(in.kills, func(i, j int) bool { return in.kills[i].Cycle < in.kills[j].Cycle })
+	return in
+}
+
+// Params returns the resolved parameters (zero value for a nil injector).
+func (in *Injector) Params() Params {
+	if in == nil {
+		return Params{}
+	}
+	return in.p
+}
+
+// MaxWriteRetries returns the retry bound (default for a nil injector,
+// so callers need not special-case).
+func (in *Injector) MaxWriteRetries() int {
+	if in == nil {
+		return DefaultMaxWriteRetries
+	}
+	return in.p.MaxWriteRetries
+}
+
+// STTWriteFails draws one write-verify outcome: true means this attempt
+// failed and must be retried. Never draws when the rate is zero.
+func (in *Injector) STTWriteFails() bool {
+	if in == nil || in.p.STTWriteFailProb <= 0 {
+		return false
+	}
+	if in.stt.Float64() >= in.p.STTWriteFailProb {
+		return false
+	}
+	in.Counts.STTWriteFailures++
+	return true
+}
+
+// RecordWriteRetry counts one re-issued write attempt.
+func (in *Injector) RecordWriteRetry() {
+	if in != nil {
+		in.Counts.STTWriteRetries++
+	}
+}
+
+// RecordWriteAbort counts one write that exhausted its retry budget.
+func (in *Injector) RecordWriteAbort() {
+	if in != nil {
+		in.Counts.STTWriteAborts++
+	}
+}
+
+// ArrayWriteRetries models the in-array verify-retry loop of the L2/L3
+// STT banks (no controller re-arbitration below the L1): it draws
+// attempts until one verifies or the budget is spent and returns how
+// many retries the write consumed. The caller extends latency and
+// charges write energy once per retry.
+func (in *Injector) ArrayWriteRetries() int {
+	if in == nil || in.p.STTWriteFailProb <= 0 {
+		return 0
+	}
+	retries := 0
+	for in.STTWriteFails() {
+		if retries == in.p.MaxWriteRetries {
+			in.Counts.STTWriteAborts++
+			break
+		}
+		retries++
+		in.Counts.STTWriteRetries++
+	}
+	return retries
+}
+
+// ReadOutcome reports one SRAM word read under ECC.
+type ReadOutcome int
+
+// Read outcomes.
+const (
+	// ReadClean means no bit upset.
+	ReadClean ReadOutcome = iota
+	// ReadCorrected means the ECC scheme repaired every upset bit.
+	ReadCorrected
+	// ReadUncorrectable means more bits upset than the scheme corrects.
+	ReadUncorrectable
+)
+
+// SRAMRead draws the fault outcome of one SRAM word read. The flip count
+// is binomial over the protected word (data + check bits); the common
+// clean case costs a single uniform draw.
+func (in *Injector) SRAMRead() ReadOutcome {
+	if in == nil || in.p.SRAMBitFlipPerCell <= 0 {
+		return ReadClean
+	}
+	u := in.sram.Float64()
+	if u < in.noFlip {
+		return ReadClean
+	}
+	// Walk the binomial pmf past the zero-flip mass already consumed.
+	p := in.p.SRAMBitFlipPerCell
+	n := in.wordLen
+	acc := in.noFlip
+	pmf := in.noFlip
+	flips := 0
+	for flips < n && u >= acc {
+		// pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
+		pmf *= float64(n-flips) / float64(flips+1) * p / (1 - p)
+		flips++
+		acc += pmf
+	}
+	in.Counts.SRAMReadFlips++
+	if flips <= in.p.ECC.Corrects() {
+		in.Counts.SRAMCorrected++
+		return ReadCorrected
+	}
+	in.Counts.SRAMUncorrectable++
+	return ReadUncorrectable
+}
+
+// HaltOnUncorrectable reports the configured uncorrectable-word policy.
+func (in *Injector) HaltOnUncorrectable() bool {
+	return in != nil && in.p.HaltOnUncorrectable
+}
+
+// Uncorrectable reports whether any uncorrectable word was read.
+func (in *Injector) Uncorrectable() bool {
+	return in != nil && in.Counts.SRAMUncorrectable > 0
+}
+
+// NextKill returns the earliest scheduled kill not yet delivered, if any.
+func (in *Injector) NextKill() (KillSpec, bool) {
+	if in == nil || len(in.kills) == 0 {
+		return KillSpec{}, false
+	}
+	return in.kills[0], true
+}
+
+// PopKill consumes the kill returned by NextKill and counts it.
+func (in *Injector) PopKill() {
+	if in == nil || len(in.kills) == 0 {
+		return
+	}
+	in.kills = in.kills[1:]
+	in.Counts.CoreKills++
+}
+
+// DropKill consumes the kill returned by NextKill without counting it
+// (the cluster refused delivery: core already dead or last survivor).
+func (in *Injector) DropKill() {
+	if in == nil || len(in.kills) == 0 {
+		return
+	}
+	in.kills = in.kills[1:]
+}
+
+// Snapshot returns the event counts (zero value for a nil injector).
+func (in *Injector) Snapshot() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	return in.Counts
+}
+
+// KillFirstN builds a kill schedule that kills cores 0..n-1 of every
+// cluster at the given cycle — the CLI's -kill-cores convenience.
+func KillFirstN(numClusters, n int, cycle uint64) []KillSpec {
+	var kills []KillSpec
+	for c := 0; c < numClusters; c++ {
+		for i := 0; i < n; i++ {
+			kills = append(kills, KillSpec{Cluster: c, Core: i, Cycle: cycle})
+		}
+	}
+	return kills
+}

@@ -1,0 +1,221 @@
+package faults
+
+import (
+	"testing"
+
+	"respin/internal/reliability"
+)
+
+func TestNilInjectorIsSafeAndInert(t *testing.T) {
+	var in *Injector
+	if in.STTWriteFails() {
+		t.Error("nil injector reported a write failure")
+	}
+	if r := in.ArrayWriteRetries(); r != 0 {
+		t.Errorf("nil injector drew %d array retries", r)
+	}
+	if out := in.SRAMRead(); out != ReadClean {
+		t.Errorf("nil injector read outcome %v", out)
+	}
+	if in.MaxWriteRetries() != DefaultMaxWriteRetries {
+		t.Errorf("nil injector retry bound %d", in.MaxWriteRetries())
+	}
+	if _, ok := in.NextKill(); ok {
+		t.Error("nil injector has a kill scheduled")
+	}
+	in.RecordWriteRetry()
+	in.RecordWriteAbort()
+	in.PopKill()
+	in.DropKill()
+	if c := in.Snapshot(); c.Any() {
+		t.Errorf("nil injector counted events: %+v", c)
+	}
+}
+
+func TestZeroParamsDisableInjection(t *testing.T) {
+	if New(Params{}) != nil {
+		t.Error("zero params built an injector")
+	}
+	if New(Params{Seed: 7, ECC: reliability.SECDED}) != nil {
+		t.Error("seed+ECC alone built an injector")
+	}
+	if New(Params{STTWriteFailProb: 0.01}) == nil {
+		t.Error("nonzero STT rate did not build an injector")
+	}
+}
+
+func TestSTTWriteFailureRate(t *testing.T) {
+	const p, n = 0.1, 200_000
+	in := New(Params{Seed: 3, STTWriteFailProb: p})
+	fails := 0
+	for i := 0; i < n; i++ {
+		if in.STTWriteFails() {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if got < 0.9*p || got > 1.1*p {
+		t.Errorf("empirical failure rate %.4f, want ~%.2f", got, p)
+	}
+	if in.Counts.STTWriteFailures != uint64(fails) {
+		t.Errorf("counted %d failures, observed %d", in.Counts.STTWriteFailures, fails)
+	}
+}
+
+func TestArrayWriteRetriesBounded(t *testing.T) {
+	// A near-certain failure rate must still terminate at the bound,
+	// counting one abort per exhausted write.
+	in := New(Params{Seed: 1, STTWriteFailProb: 0.999, MaxWriteRetries: 4})
+	for i := 0; i < 100; i++ {
+		if r := in.ArrayWriteRetries(); r > 4 {
+			t.Fatalf("write consumed %d retries, bound 4", r)
+		}
+	}
+	if in.Counts.STTWriteAborts == 0 {
+		t.Error("no aborts counted at p=0.999")
+	}
+	// Retries and failures reconcile: every failure either triggered a
+	// retry or an abort.
+	if in.Counts.STTWriteFailures != in.Counts.STTWriteRetries+in.Counts.STTWriteAborts {
+		t.Errorf("failures %d != retries %d + aborts %d",
+			in.Counts.STTWriteFailures, in.Counts.STTWriteRetries, in.Counts.STTWriteAborts)
+	}
+}
+
+func TestSRAMReadECCOutcomes(t *testing.T) {
+	// With SECDED, single-bit flips correct and multi-bit flips don't;
+	// at a high per-cell rate both outcomes must appear.
+	in := New(Params{Seed: 5, SRAMBitFlipPerCell: 0.02, ECC: reliability.SECDED})
+	for i := 0; i < 50_000; i++ {
+		in.SRAMRead()
+	}
+	c := in.Counts
+	if c.SRAMReadFlips == 0 || c.SRAMCorrected == 0 || c.SRAMUncorrectable == 0 {
+		t.Errorf("expected all outcome classes at p=0.02: %+v", c)
+	}
+	if c.SRAMCorrected+c.SRAMUncorrectable != c.SRAMReadFlips {
+		t.Errorf("flip outcomes don't reconcile: %+v", c)
+	}
+	if !in.Uncorrectable() {
+		t.Error("Uncorrectable() false despite uncorrectable reads")
+	}
+
+	// Without ECC every flipped word is uncorrectable.
+	in = New(Params{Seed: 5, SRAMBitFlipPerCell: 0.02, ECC: reliability.NoECC})
+	for i := 0; i < 10_000; i++ {
+		in.SRAMRead()
+	}
+	if in.Counts.SRAMCorrected != 0 {
+		t.Errorf("NoECC corrected %d words", in.Counts.SRAMCorrected)
+	}
+}
+
+func TestSRAMReadFlipRate(t *testing.T) {
+	// The fraction of reads with >=1 flip must match 1-(1-p)^n.
+	const p = 0.001
+	in := New(Params{Seed: 11, SRAMBitFlipPerCell: p, ECC: reliability.SECDED})
+	const reads = 100_000
+	for i := 0; i < reads; i++ {
+		in.SRAMRead()
+	}
+	want := 1 - in.noFlip
+	got := float64(in.Counts.SRAMReadFlips) / reads
+	if got < 0.85*want || got > 1.15*want {
+		t.Errorf("flip rate %.5f, want ~%.5f", got, want)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	draw := func() (Counts, Counts) {
+		a := New(Params{Seed: 42, STTWriteFailProb: 0.05, SRAMBitFlipPerCell: 0.001, ECC: reliability.SECDED})
+		b := New(Params{Seed: 42, STTWriteFailProb: 0.05, SRAMBitFlipPerCell: 0.001, ECC: reliability.SECDED})
+		for i := 0; i < 10_000; i++ {
+			a.STTWriteFails()
+			a.SRAMRead()
+			b.STTWriteFails()
+			b.SRAMRead()
+		}
+		return a.Counts, b.Counts
+	}
+	ca, cb := draw()
+	if ca != cb {
+		t.Errorf("same seed diverged: %+v vs %+v", ca, cb)
+	}
+
+	// Different seeds must diverge (with overwhelming probability).
+	c := New(Params{Seed: 43, STTWriteFailProb: 0.05, SRAMBitFlipPerCell: 0.001, ECC: reliability.SECDED})
+	for i := 0; i < 10_000; i++ {
+		c.STTWriteFails()
+		c.SRAMRead()
+	}
+	if c.Counts == ca {
+		t.Error("different seeds produced identical event sequences")
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	// Adding SRAM draws must not change the STT stream: the two
+	// mechanisms use separate RNGs.
+	seq := func(interleave bool) []bool {
+		in := New(Params{Seed: 9, STTWriteFailProb: 0.1, SRAMBitFlipPerCell: 0.001, ECC: reliability.SECDED})
+		out := make([]bool, 1000)
+		for i := range out {
+			if interleave {
+				in.SRAMRead()
+			}
+			out[i] = in.STTWriteFails()
+		}
+		return out
+	}
+	a, b := seq(false), seq(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("STT stream perturbed by SRAM draws at index %d", i)
+		}
+	}
+}
+
+func TestKillScheduleOrderAndValidate(t *testing.T) {
+	in := New(Params{Kills: []KillSpec{
+		{Cluster: 1, Core: 2, Cycle: 500},
+		{Cluster: 0, Core: 0, Cycle: 100},
+	}})
+	k, ok := in.NextKill()
+	if !ok || k.Cycle != 100 {
+		t.Fatalf("first kill %+v, want cycle 100", k)
+	}
+	in.PopKill()
+	k, _ = in.NextKill()
+	if k.Cycle != 500 {
+		t.Fatalf("second kill %+v, want cycle 500", k)
+	}
+	in.DropKill()
+	if _, ok := in.NextKill(); ok {
+		t.Error("kills remain after drain")
+	}
+	if in.Counts.CoreKills != 1 {
+		t.Errorf("CoreKills %d, want 1 (one delivered, one dropped)", in.Counts.CoreKills)
+	}
+
+	if err := (Params{Kills: []KillSpec{{Cluster: 4, Core: 0}}}).Validate(4, 16); err == nil {
+		t.Error("out-of-range cluster passed Validate")
+	}
+	if err := (Params{Kills: []KillSpec{{Cluster: 0, Core: 16}}}).Validate(4, 16); err == nil {
+		t.Error("out-of-range core passed Validate")
+	}
+	if err := (Params{STTWriteFailProb: 1.5}).Validate(4, 16); err == nil {
+		t.Error("rate above 1 passed Validate")
+	}
+}
+
+func TestKillFirstN(t *testing.T) {
+	kills := KillFirstN(4, 2, 1000)
+	if len(kills) != 8 {
+		t.Fatalf("got %d kills, want 8", len(kills))
+	}
+	for _, k := range kills {
+		if k.Core >= 2 || k.Cycle != 1000 {
+			t.Errorf("unexpected kill %+v", k)
+		}
+	}
+}

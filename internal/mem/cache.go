@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"respin/internal/config"
+	"respin/internal/faults"
 	"respin/internal/stats"
 )
 
@@ -62,6 +63,10 @@ type Stats struct {
 	Invalidations       stats.Counter
 	InvalidationsDirty  stats.Counter
 	FillsFromLowerLevel stats.Counter
+	// ECCCorrected and ECCUncorrectable count injected read bit-flip
+	// events by outcome under the configured ECC scheme (zero unless a
+	// fault injector is attached — SRAM arrays at low voltage).
+	ECCCorrected, ECCUncorrectable stats.Counter
 }
 
 // MissRate returns combined read+write miss rate.
@@ -78,6 +83,7 @@ type Cache struct {
 	numSets    uint64
 	blockShift uint
 	tick       uint64
+	faults     *faults.Injector
 	Stats      Stats
 }
 
@@ -105,6 +111,11 @@ func NewCache(p config.CacheParams) *Cache {
 
 // Params returns the cache geometry.
 func (c *Cache) Params() config.CacheParams { return c.params }
+
+// AttachFaults connects a fault injector: every read hit draws a bit-flip
+// outcome for the delivered word, counted as corrected or uncorrectable
+// per the injector's ECC scheme. A nil injector detaches.
+func (c *Cache) AttachFaults(in *faults.Injector) { c.faults = in }
 
 // BlockAddr returns the block-aligned identifier for a byte address.
 func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift }
@@ -164,6 +175,13 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	set[i].used = c.tick
 	if write {
 		set[i].state = StateDirty
+	} else if c.faults != nil {
+		switch c.faults.SRAMRead() {
+		case faults.ReadCorrected:
+			c.Stats.ECCCorrected.Inc()
+		case faults.ReadUncorrectable:
+			c.Stats.ECCUncorrectable.Inc()
+		}
 	}
 	return AccessResult{Hit: true}
 }

@@ -21,6 +21,7 @@ package reliability
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"respin/internal/config"
 )
@@ -87,6 +88,16 @@ func (e ECC) String() string {
 	}
 }
 
+// ECCByName parses a scheme name (as printed by String, case-insensitive).
+func ECCByName(name string) (ECC, error) {
+	for _, e := range []ECC{NoECC, Parity, SECDED, DECTED} {
+		if strings.EqualFold(e.String(), name) {
+			return e, nil
+		}
+	}
+	return NoECC, fmt.Errorf("reliability: unknown ECC scheme %q", name)
+}
+
 // wordBits is the protected word size.
 const wordBits = 64
 
@@ -104,8 +115,8 @@ func (e ECC) CheckBits() int {
 	}
 }
 
-// corrects returns how many failed bits per word the scheme repairs.
-func (e ECC) corrects() int {
+// Corrects returns how many failed bits per word the scheme repairs.
+func (e ECC) Corrects() int {
 	switch e {
 	case SECDED:
 		return 1
@@ -162,7 +173,7 @@ func WordFailProb(e ECC, pCell float64) float64 {
 		return 1
 	}
 	n := wordBits + e.CheckBits()
-	k := e.corrects()
+	k := e.Corrects()
 	// P(usable) = sum_{i=0..k} C(n,i) p^i (1-p)^(n-i).
 	usable := 0.0
 	for i := 0; i <= k; i++ {

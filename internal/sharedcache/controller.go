@@ -29,6 +29,7 @@ import (
 	"math/rand"
 
 	"respin/internal/config"
+	"respin/internal/faults"
 	"respin/internal/stats"
 )
 
@@ -86,6 +87,14 @@ type Serviced struct {
 	CoreCycles int
 	// HalfMisses counts how many times the request missed its window.
 	HalfMisses int
+	// WriteRetries counts how many extra write attempts this request
+	// consumed in the write-verify-retry loop (STT-RAM write failures);
+	// the caller charges one array-write energy per retry.
+	WriteRetries int
+	// WriteAborted is true when the write exhausted its retry budget
+	// and was abandoned (the request still completes so no request is
+	// ever lost).
+	WriteAborted bool
 }
 
 // Stats aggregates controller-level distributions and counters.
@@ -100,6 +109,10 @@ type Stats struct {
 	// RequestsWithHalfMiss counts read requests that suffered at least
 	// one half-miss.
 	RequestsWithHalfMiss stats.Counter
+	// WriteRetries counts re-arbitrated write attempts after verify
+	// failures; WriteAborts counts writes that exhausted the retry
+	// budget.
+	WriteRetries, WriteAborts stats.Counter
 	// ArrivalsPerCycle is Figure 10: how many requests arrive at the
 	// controller in each cache cycle (0,1,2,3,4+).
 	ArrivalsPerCycle *stats.Histogram
@@ -113,6 +126,7 @@ type slot struct {
 	remaining  int // one-bits left in the priority shift register
 	coreCycles int
 	halfMisses int
+	retries    int // verify-failed write attempts so far
 	active     bool
 }
 
@@ -137,6 +151,7 @@ type Controller struct {
 	pendingN    int    // requests in transit
 	readBusy    []bool // per-core read outstanding (slot or in transit)
 	done        []Serviced
+	faults      *faults.Injector
 
 	Stats Stats
 }
@@ -156,6 +171,13 @@ func WithStoreBufferDepth(d int) Option { return func(c *Controller) { c.storeDe
 // WithSeed seeds the tie-break RNG.
 func WithSeed(seed int64) Option {
 	return func(c *Controller) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithFaults attaches a fault injector: each serviced write draws a
+// verify outcome and failed writes re-arbitrate (write-verify-retry).
+// A nil injector is valid and injects nothing.
+func WithFaults(in *faults.Injector) Option {
+	return func(c *Controller) { c.faults = in }
 }
 
 // New builds a controller for a cluster of nCores cores.
@@ -299,17 +321,37 @@ func (c *Controller) Tick() []Serviced {
 		c.readBusy[s.req.Core] = false
 	}
 
-	// Write port: service one store or fill.
+	// Write port: service one store or fill. The array write is
+	// verified (STT-RAM writes fail stochastically under injected
+	// faults); a failed write keeps its queue slot — and its
+	// store-buffer slot, preserving back-pressure — and re-arbitrates
+	// with top priority, exactly like a half-missed read. After the
+	// retry budget the write is abandoned but still completes, so no
+	// request is ever lost.
 	if pick := c.pickWrite(); pick >= 0 {
-		s := c.writeQueue[pick]
-		done = append(done, Serviced{
-			Req: s.req, Cycle: c.cycle,
-			CoreCycles: s.coreCycles, HalfMisses: s.halfMisses,
-		})
-		if s.req.Core != FillCore {
-			c.storeCount[s.req.Core]--
+		s := &c.writeQueue[pick]
+		failed := c.faults.STTWriteFails()
+		if failed && s.retries < c.faults.MaxWriteRetries() {
+			s.retries++
+			s.remaining = 1
+			c.faults.RecordWriteRetry()
+			c.Stats.WriteRetries.Inc()
+		} else {
+			aborted := failed
+			if aborted {
+				c.faults.RecordWriteAbort()
+				c.Stats.WriteAborts.Inc()
+			}
+			done = append(done, Serviced{
+				Req: s.req, Cycle: c.cycle,
+				CoreCycles: s.coreCycles, HalfMisses: s.halfMisses,
+				WriteRetries: s.retries, WriteAborted: aborted,
+			})
+			if s.req.Core != FillCore {
+				c.storeCount[s.req.Core]--
+			}
+			c.writeQueue = append(c.writeQueue[:pick], c.writeQueue[pick+1:]...)
 		}
-		c.writeQueue = append(c.writeQueue[:pick], c.writeQueue[pick+1:]...)
 	}
 
 	// Shift the registers of everything still waiting; expired reads

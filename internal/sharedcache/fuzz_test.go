@@ -1,6 +1,10 @@
 package sharedcache
 
-import "testing"
+import (
+	"testing"
+
+	"respin/internal/faults"
+)
 
 // FuzzController interprets the fuzz input as a schedule of submissions
 // and checks the controller's core invariants: accepted requests are
@@ -58,6 +62,84 @@ func FuzzController(f *testing.F) {
 		}
 		if c.PendingReads() != 0 || c.PendingWrites() != 0 {
 			t.Fatal("requests stuck after drain")
+		}
+	})
+}
+
+// FuzzControllerFaults replays randomized submission schedules against a
+// controller whose write port suffers stochastic STT write-verify
+// failures, and checks that the retry machinery never loses or
+// double-completes a request: every accepted request is serviced exactly
+// once (aborted writes included), retries stay within the bound, and the
+// queues drain empty.
+func FuzzControllerFaults(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x13, 0x00, 0xff, 0x41}, uint8(10), int64(1))
+	f.Add([]byte{0x0f, 0x0e, 0x0d, 0x0c, 0x0b, 0x0a, 0x09, 0x08}, uint8(200), int64(9))
+	f.Add([]byte{0xff, 0x08, 0x08, 0x08}, uint8(255), int64(3))
+	f.Fuzz(func(t *testing.T, schedule []byte, rate uint8, seed int64) {
+		if len(schedule) > 4096 {
+			schedule = schedule[:4096]
+		}
+		const nCores = 8
+		in := faults.New(faults.Params{
+			Seed: seed,
+			// Up to ~99.6% per-attempt failure: stresses the abort path.
+			STTWriteFailProb: float64(rate) / 256,
+			MaxWriteRetries:  4,
+		})
+		c := New(nCores, WithSeed(7), WithFaults(in))
+		submitted := map[uint64]bool{}
+		serviced := map[uint64]int{}
+		var tag uint64
+		for _, b := range schedule {
+			if b&0x80 == 0 {
+				core := int(b & 7)
+				write := b&8 != 0
+				window := 4 + int(b>>4)&3
+				if window > 6 {
+					window = 6
+				}
+				tag++
+				if c.Submit(Request{Core: core, Write: write, Multiple: window, Tag: tag}) {
+					submitted[tag] = true
+				}
+			}
+			for _, d := range c.Tick() {
+				serviced[d.Req.Tag]++
+				if d.WriteRetries > 4 {
+					t.Fatalf("write exceeded retry bound: %+v", d)
+				}
+				if d.WriteAborted && !d.Req.Write {
+					t.Fatalf("read marked write-aborted: %+v", d)
+				}
+			}
+		}
+		// Drain: worst case each queued write burns its full retry
+		// budget, one failed attempt per tick.
+		for i := 0; i < 64*(4+2); i++ {
+			for _, d := range c.Tick() {
+				serviced[d.Req.Tag]++
+			}
+		}
+		if len(serviced) != len(submitted) {
+			t.Fatalf("serviced %d of %d accepted requests", len(serviced), len(submitted))
+		}
+		for tg, n := range serviced {
+			if n != 1 || !submitted[tg] {
+				t.Fatalf("request %d serviced %d times (accepted=%v)", tg, n, submitted[tg])
+			}
+		}
+		if c.PendingReads() != 0 || c.PendingWrites() != 0 {
+			t.Fatal("requests stuck after drain")
+		}
+		if in != nil {
+			cts := in.Snapshot()
+			if cts.STTWriteFailures != cts.STTWriteRetries+cts.STTWriteAborts {
+				t.Fatalf("failure accounting does not reconcile: %+v", cts)
+			}
+			if got := c.Stats.WriteRetries.Value(); got != cts.STTWriteRetries {
+				t.Fatalf("controller counted %d retries, injector %d", got, cts.STTWriteRetries)
+			}
 		}
 	})
 }

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"respin/internal/cluster"
+	"respin/internal/config"
+)
+
+// ClusterDiag is the frozen state of one cluster at the moment the
+// watchdog tripped — everything needed to tell a livelocked barrier from
+// a stalled migration from a stuck controller at a glance.
+type ClusterDiag struct {
+	ID int
+	// ActiveCores/AliveCores/DeadCores describe the physical cores.
+	ActiveCores, AliveCores, DeadCores int
+	// StalledPCores are powered cores inside a migration/power-up
+	// stall; SwitchingPCores are paying a context-switch penalty;
+	// InactivePCores are gated (dead cores included).
+	StalledPCores, SwitchingPCores, InactivePCores int
+	// BarrierWaiters and Unfinished describe the virtual cores;
+	// VCoreStates is the full execution-state census (state -> count,
+	// "finished" included).
+	BarrierWaiters, Unfinished int
+	VCoreStates                map[string]int
+	// PendingReads/PendingWrites are the L1D controller's live request
+	// registers and write queue; the I-side pair mirrors the L1I
+	// controller. All zero for private-L1 configurations.
+	PendingReads, PendingWrites   int
+	PendingIReads, PendingIWrites int
+	// OutstandingEvents is the deferred-completion queue depth
+	// (in-flight misses, fills, barrier releases).
+	OutstandingEvents int
+}
+
+// DeadlockError is the structured diagnostic returned when the MaxCycles
+// watchdog trips: the run did not finish, and this is where every thread
+// and every queue stood when the plug was pulled.
+type DeadlockError struct {
+	Bench     string
+	Kind      config.ArchKind
+	MaxCycles uint64
+	// BarrierPending is true when a global barrier release was in
+	// flight — the classic lost-release deadlock signature.
+	BarrierPending bool
+	Clusters       []ClusterDiag
+}
+
+// Error renders the diagnostic: a one-line summary followed by one line
+// per cluster, worst (most unfinished threads) first.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	unfinished, waiters := 0, 0
+	for _, c := range e.Clusters {
+		unfinished += c.Unfinished
+		waiters += c.BarrierWaiters
+	}
+	fmt.Fprintf(&b, "sim: watchdog: %s/%v did not finish within %d cycles (%d threads unfinished, %d at barrier, barrier release pending=%v)",
+		e.Bench, e.Kind, e.MaxCycles, unfinished, waiters, e.BarrierPending)
+	for _, c := range e.Clusters {
+		fmt.Fprintf(&b, "\n  cluster %d: cores %d active/%d alive (%d dead; %d stalled, %d switching, %d gated); threads %d unfinished, %d at barrier",
+			c.ID, c.ActiveCores, c.AliveCores, c.DeadCores,
+			c.StalledPCores, c.SwitchingPCores, c.InactivePCores,
+			c.Unfinished, c.BarrierWaiters)
+		if len(c.VCoreStates) > 0 {
+			states := make([]string, 0, len(c.VCoreStates))
+			for s, n := range c.VCoreStates {
+				states = append(states, fmt.Sprintf("%s=%d", s, n))
+			}
+			sort.Strings(states)
+			fmt.Fprintf(&b, "; states {%s}", strings.Join(states, " "))
+		}
+		fmt.Fprintf(&b, "; ctrlD %dr/%dw, ctrlI %dr/%dw, %d deferred events",
+			c.PendingReads, c.PendingWrites, c.PendingIReads, c.PendingIWrites,
+			c.OutstandingEvents)
+	}
+	return b.String()
+}
+
+// diagnose snapshots one cluster for the watchdog report.
+func diagnose(cl *cluster.Cluster) ClusterDiag {
+	d := ClusterDiag{
+		ID:                cl.ID(),
+		ActiveCores:       cl.ActiveCores(),
+		AliveCores:        cl.AliveCores(),
+		DeadCores:         cl.DeadCores(),
+		BarrierWaiters:    cl.BarrierWaiters(),
+		Unfinished:        cl.Unfinished(),
+		VCoreStates:       cl.StateCensus(),
+		OutstandingEvents: cl.OutstandingEvents(),
+	}
+	d.StalledPCores, d.SwitchingPCores, d.InactivePCores = cl.PCoreStallCensus()
+	if ctrl := cl.ControllerD(); ctrl != nil {
+		d.PendingReads, d.PendingWrites = ctrl.PendingReads(), ctrl.PendingWrites()
+	}
+	if ctrl := cl.ControllerI(); ctrl != nil {
+		d.PendingIReads, d.PendingIWrites = ctrl.PendingReads(), ctrl.PendingWrites()
+	}
+	return d
+}
+
+// UncorrectableError aborts a run on a detected-uncorrectable SRAM word
+// (fault injection with HaltOnUncorrectable set): the machine-check path
+// a real chip would take.
+type UncorrectableError struct {
+	Bench string
+	Kind  config.ArchKind
+	Cycle uint64
+}
+
+// Error implements error.
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("sim: %s/%v: uncorrectable SRAM error detected at cycle %d (machine check)",
+		e.Bench, e.Kind, e.Cycle)
+}

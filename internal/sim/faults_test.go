@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/faults"
+	"respin/internal/reliability"
+)
+
+// resultKey extracts the deterministic scalar core of a Result for
+// bit-identity comparisons.
+type resultKey struct {
+	Cycles       uint64
+	Instructions uint64
+	EnergyPJ     float64
+	HalfMissRate float64
+	L1DMissRate  float64
+	Faults       faults.Counts
+	DeadCores    int
+}
+
+func keyOf(r Result) resultKey {
+	return resultKey{
+		Cycles:       r.Cycles,
+		Instructions: r.Instructions,
+		EnergyPJ:     r.EnergyPJ,
+		HalfMissRate: r.HalfMissRate,
+		L1DMissRate:  r.L1DMissRate,
+		Faults:       r.Faults,
+		DeadCores:    r.DeadCores,
+	}
+}
+
+func TestZeroFaultRatesBitIdentical(t *testing.T) {
+	// An all-zero fault configuration must reproduce the fault-free run
+	// byte for byte: the injector is nil and no RNG stream is touched.
+	base := run(t, config.SHSTT, "fft", Options{Seed: 1})
+	withZero := run(t, config.SHSTT, "fft", Options{Seed: 1,
+		Faults: faults.Params{Seed: 99, ECC: reliability.SECDED}})
+	if keyOf(base) != keyOf(withZero) {
+		t.Errorf("zero-rate faults perturbed the run:\n base %+v\nfault %+v",
+			keyOf(base), keyOf(withZero))
+	}
+	if base.Stats != withZero.Stats {
+		t.Errorf("zero-rate faults perturbed event counters:\n base %+v\nfault %+v",
+			base.Stats, withZero.Stats)
+	}
+}
+
+func TestWatchdogDeadlockDiagnostic(t *testing.T) {
+	// Force the watchdog with a bound far too small for any real run
+	// and check the structured diagnostic.
+	_, err := Run(config.New(config.SHSTT, config.Medium), "fft",
+		Options{QuotaInstr: 30_000, Seed: 1, MaxCycles: 500})
+	if err == nil {
+		t.Fatal("500-cycle bound did not trip the watchdog")
+	}
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("watchdog returned %T (%v), want *DeadlockError", err, err)
+	}
+	if derr.MaxCycles != 500 {
+		t.Errorf("diagnostic MaxCycles %d, want 500", derr.MaxCycles)
+	}
+	want := config.New(config.SHSTT, config.Medium).NumClusters()
+	if len(derr.Clusters) != want {
+		t.Fatalf("diagnostic covers %d clusters, want %d", len(derr.Clusters), want)
+	}
+	unfinished := 0
+	for _, c := range derr.Clusters {
+		unfinished += c.Unfinished
+		if len(c.VCoreStates) == 0 {
+			t.Errorf("cluster %d diagnostic has no state census", c.ID)
+		}
+	}
+	if unfinished == 0 {
+		t.Error("diagnostic reports every thread finished despite the trip")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"watchdog", "unfinished", "cluster 0", "ctrlD"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("diagnostic message missing %q:\n%s", frag, msg)
+		}
+	}
+}
+
+func TestSTTWriteFailuresRetryAndCharge(t *testing.T) {
+	clean := run(t, config.SHSTT, "radix", Options{Seed: 1})
+	faulty := run(t, config.SHSTT, "radix", Options{Seed: 1,
+		Faults: faults.Params{Seed: 2, STTWriteFailProb: 0.01}})
+
+	if faulty.Faults.STTWriteRetries == 0 {
+		t.Fatal("1% write-fail rate produced no retries")
+	}
+	if faulty.Faults.STTWriteFailures !=
+		faulty.Faults.STTWriteRetries+faulty.Faults.STTWriteAborts {
+		t.Errorf("failure accounting does not reconcile: %+v", faulty.Faults)
+	}
+	// Retries re-arbitrate through the controller: visible in its
+	// counters, in execution time, and in dynamic cache energy.
+	if faulty.Cycles <= clean.Cycles {
+		t.Errorf("retries did not cost time: %d vs clean %d", faulty.Cycles, clean.Cycles)
+	}
+	if faulty.EnergyPJ <= clean.EnergyPJ {
+		t.Errorf("retries did not cost energy: %.0f vs clean %.0f",
+			faulty.EnergyPJ, clean.EnergyPJ)
+	}
+	if faulty.Instructions != clean.Instructions {
+		t.Errorf("faulty run retired %d instructions, clean %d — work was lost",
+			faulty.Instructions, clean.Instructions)
+	}
+}
+
+func TestSRAMReadFaultsCorrected(t *testing.T) {
+	res := run(t, config.PRSRAMNT, "fft", Options{Seed: 1,
+		Faults: faults.Params{Seed: 3, SRAMBitFlipPerCell: 1e-4, ECC: reliability.SECDED}})
+	if res.Faults.SRAMCorrected == 0 {
+		t.Errorf("no corrected reads at p=1e-4: %+v", res.Faults)
+	}
+	// STT streams must be untouched on an SRAM config.
+	if res.Faults.STTWriteFailures != 0 {
+		t.Errorf("SRAM config drew STT write failures: %+v", res.Faults)
+	}
+}
+
+func TestHaltOnUncorrectable(t *testing.T) {
+	_, err := Run(config.New(config.PRSRAMNT, config.Medium), "fft",
+		Options{QuotaInstr: 30_000, Seed: 1, Faults: faults.Params{
+			Seed: 3, SRAMBitFlipPerCell: 0.02, ECC: reliability.NoECC,
+			HaltOnUncorrectable: true,
+		}})
+	var uerr *UncorrectableError
+	if !errors.As(err, &uerr) {
+		t.Fatalf("got %T (%v), want *UncorrectableError", err, err)
+	}
+}
+
+func TestKillCoresGracefulDegradation(t *testing.T) {
+	cfg := config.New(config.SHSTT, config.Medium)
+	clean := run(t, config.SHSTT, "radix", Options{Seed: 1})
+	// Kill 6 of every cluster's 16 cores early in the run; the VCM must
+	// remap their threads and the workload must still complete in full.
+	res := run(t, config.SHSTT, "radix", Options{Seed: 1,
+		Faults: faults.Params{Seed: 4,
+			Kills: faults.KillFirstN(cfg.NumClusters(), 6, 5_000)}})
+
+	wantDead := 6 * cfg.NumClusters()
+	if res.DeadCores != wantDead {
+		t.Errorf("DeadCores %d, want %d", res.DeadCores, wantDead)
+	}
+	if res.Faults.CoreKills != uint64(wantDead) {
+		t.Errorf("CoreKills %d, want %d", res.Faults.CoreKills, wantDead)
+	}
+	// Every thread must still complete its full quota (barrier spins
+	// add a handful of extra retirements that legitimately differ).
+	if want := uint64(cfg.NumCores) * 30_000; res.Instructions < want {
+		t.Errorf("degraded run retired %d instructions, want >= %d — threads lost",
+			res.Instructions, want)
+	}
+	if res.Cycles <= clean.Cycles {
+		t.Errorf("losing %d cores did not cost time: %d vs %d",
+			wantDead, res.Cycles, clean.Cycles)
+	}
+	if res.Stats.Migrations == 0 {
+		t.Error("no migrations recorded — remapping did not happen")
+	}
+}
+
+func TestKillRefusedForLastSurvivor(t *testing.T) {
+	// Scheduling more kills than cores must not wipe a cluster out: the
+	// last survivor refuses and the run completes.
+	cfg := config.New(config.SHSTT, config.Medium)
+	res := run(t, config.SHSTT, "fft", Options{Seed: 1,
+		Faults: faults.Params{Seed: 4,
+			Kills: faults.KillFirstN(cfg.NumClusters(), cfg.ClusterSize, 2_000)}})
+	wantDead := (cfg.ClusterSize - 1) * cfg.NumClusters()
+	if res.DeadCores != wantDead {
+		t.Errorf("DeadCores %d, want %d (one survivor per cluster)", res.DeadCores, wantDead)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	opts := Options{Seed: 1, Faults: faults.Params{
+		Seed:             7,
+		STTWriteFailProb: 0.005,
+		Kills:            faults.KillFirstN(4, 2, 10_000),
+	}}
+	a := run(t, config.SHSTT, "radix", opts)
+	b := run(t, config.SHSTT, "radix", opts)
+	if keyOf(a) != keyOf(b) {
+		t.Errorf("identical seeds diverged:\n a %+v\n b %+v", keyOf(a), keyOf(b))
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("identical seeds diverged in counters:\n a %+v\n b %+v", a.Stats, b.Stats)
+	}
+
+	// A different fault seed must give a different event sequence while
+	// the workload itself (instructions) is unchanged.
+	opts.Faults.Seed = 8
+	opts.Faults.Kills = faults.KillFirstN(4, 2, 10_000)
+	c := run(t, config.SHSTT, "radix", opts)
+	if c.Faults == a.Faults {
+		t.Error("different fault seeds produced identical fault counts")
+	}
+	if c.Instructions != a.Instructions {
+		t.Errorf("fault seed changed retired instructions: %d vs %d",
+			c.Instructions, a.Instructions)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, config.New(config.SHSTT, config.Medium), "fft",
+		Options{QuotaInstr: 30_000, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The partial result reflects the immediate stop.
+	if res.Cycles != 0 {
+		t.Errorf("pre-cancelled run simulated %d cycles", res.Cycles)
+	}
+	if res.Bench != "fft" {
+		t.Errorf("partial result not populated: %+v", res.Bench)
+	}
+}

@@ -7,13 +7,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"respin/internal/cluster"
 	"respin/internal/config"
 	"respin/internal/consolidation"
+	"respin/internal/faults"
 	"respin/internal/mem"
 	"respin/internal/power"
+	"respin/internal/reliability"
 	"respin/internal/stats"
 	"respin/internal/trace"
 	"respin/internal/variation"
@@ -40,6 +43,11 @@ type Options struct {
 	// EpochTrace records the active-core count of every cluster at
 	// each consolidation epoch (Figures 12-14).
 	EpochTrace bool
+	// Faults configures the fault injector; the zero value injects
+	// nothing and reproduces fault-free runs bit-identically. A
+	// negative SRAMBitFlipPerCell derives the rate from the cache rail
+	// (reliability.CellFailProb at the configuration's CacheVdd).
+	Faults faults.Params
 }
 
 // DefaultQuota is the default per-thread instruction budget.
@@ -77,6 +85,11 @@ type Result struct {
 	Stats cluster.Stats
 	// L1DMissRate is the global L1D miss rate.
 	L1DMissRate float64
+	// Faults counts injected-fault events (all zero when no fault
+	// injection was configured).
+	Faults faults.Counts
+	// DeadCores is the chip-wide count of killed physical cores.
+	DeadCores int
 }
 
 // IPC returns chip-wide instructions per cache cycle.
@@ -103,6 +116,7 @@ type Sim struct {
 	l3NextFree uint64
 	dram       *mem.DRAM
 	l3Meter    power.Meter
+	faults     *faults.Injector
 
 	epochSeen int
 	trace     stats.TimeSeries
@@ -129,15 +143,28 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Faults.SRAMBitFlipPerCell < 0 {
+		// Derive the flip rate from the cache rail: zero for STT-RAM
+		// (immune to voltage-dependent upsets), the CellFailProb law
+		// for near-threshold SRAM.
+		opts.Faults.SRAMBitFlipPerCell = reliability.CellFailProb(cfg.Tech, cfg.CacheVdd)
+	}
+	if err := opts.Faults.Validate(cfg.NumClusters(), cfg.ClusterSize); err != nil {
+		return nil, err
+	}
 
 	chip := power.NewChipWithParams(cfg, power.DefaultParams())
 	s := &Sim{
-		cfg:   cfg,
-		chip:  chip,
-		opts:  opts,
-		bench: prof,
-		l3:    mem.NewCache(cfg.Hierarchy.L3),
-		dram:  mem.NewDRAM(),
+		cfg:    cfg,
+		chip:   chip,
+		opts:   opts,
+		bench:  prof,
+		l3:     mem.NewCache(cfg.Hierarchy.L3),
+		dram:   mem.NewDRAM(),
+		faults: faults.New(opts.Faults),
+	}
+	if s.faults != nil && cfg.Tech == config.SRAM {
+		s.l3.AttachFaults(s.faults)
 	}
 
 	vm := variation.Generate(cfg.VariationSeed, 8, 8, cfg.CoreVdd, variation.DefaultParams())
@@ -158,6 +185,7 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 			Seed:       opts.Seed,
 			QuotaInstr: opts.QuotaInstr,
 			Lower:      (*lowerAdapter)(s),
+			Faults:     s.faults,
 		})
 		s.mgrs[i] = s.newManager()
 	}
@@ -198,7 +226,18 @@ func (la *lowerAdapter) L3Access(start uint64, addr uint64, write bool) uint64 {
 			fill := s.l3.Fill(addr, true)
 			_ = fill // dirty L3 evictions go to DRAM; energy off-chip
 		}
-		return start + uint64(s.chip.Latencies.L3Write)
+		end := start + uint64(s.chip.Latencies.L3Write)
+		// STT L3 banks run the same in-array verify-retry loop as the
+		// L2; retries extend the write's port hold and cost energy.
+		if s.cfg.Tech == config.STTRAM {
+			if r := s.faults.ArrayWriteRetries(); r > 0 {
+				s.l3Meter.AddPJ(power.CacheDynamic, float64(r)*e.L3Write)
+				extra := uint64(r) * uint64(s.chip.Latencies.L3Write)
+				s.l3NextFree += extra
+				end += extra
+			}
+		}
+		return end
 	}
 	s.l3Meter.AddPJ(power.CacheDynamic, e.L3Read)
 	res := s.l3.Access(addr, false)
@@ -214,12 +253,40 @@ func (la *lowerAdapter) L3Access(start uint64, addr uint64, write bool) uint64 {
 
 // Run executes the simulation to completion and returns the result.
 func (s *Sim) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the simulation to completion, honouring ctx: on
+// cancellation it stops at the next check boundary and returns the
+// partial Result collected so far alongside the context's error, so an
+// interrupted experiment still reports what it measured.
+func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 	pp := s.cfg.ConsolidationParams
 	osEpochCycles := uint64(pp.OSIntervalPS / config.CachePeriodPS)
 	barrierPending := false
 
+	nextKill, killPending := s.faults.NextKill()
+
 	now := uint64(0)
 	for ; now < s.opts.MaxCycles; now++ {
+		// Cancellation check, amortised over 4096-cycle windows so the
+		// hot loop stays branch-predictable.
+		if now&0xFFF == 0 && ctx.Err() != nil {
+			return s.collect(now), fmt.Errorf("sim: %s/%v interrupted at cycle %d: %w",
+				s.bench.Name, s.cfg.Kind, now, ctx.Err())
+		}
+
+		// Deliver scheduled core-kill faults. A refused kill (core
+		// already dead, or last survivor) is dropped uncounted.
+		for killPending && nextKill.Cycle <= now {
+			if s.clus[nextKill.Cluster].KillCore(nextKill.Core) {
+				s.faults.PopKill()
+			} else {
+				s.faults.DropKill()
+			}
+			nextKill, killPending = s.faults.NextKill()
+		}
+
 		done := true
 		for _, cl := range s.clus {
 			if !cl.Done() {
@@ -229,6 +296,14 @@ func (s *Sim) Run() (Result, error) {
 		}
 		if done {
 			break
+		}
+
+		// Machine check: a detected-uncorrectable SRAM word halts the
+		// run when the policy says so.
+		if s.faults.HaltOnUncorrectable() && s.faults.Uncorrectable() {
+			return s.collect(now), &UncorrectableError{
+				Bench: s.bench.Name, Kind: s.cfg.Kind, Cycle: now,
+			}
 		}
 
 		// Global barrier: when every unfinished thread chip-wide is
@@ -271,8 +346,16 @@ func (s *Sim) Run() (Result, error) {
 		}
 	}
 	if now >= s.opts.MaxCycles {
-		return Result{}, fmt.Errorf("sim: %s/%v did not finish within %d cycles",
-			s.bench.Name, s.cfg.Kind, s.opts.MaxCycles)
+		derr := &DeadlockError{
+			Bench:          s.bench.Name,
+			Kind:           s.cfg.Kind,
+			MaxCycles:      s.opts.MaxCycles,
+			BarrierPending: barrierPending,
+		}
+		for _, cl := range s.clus {
+			derr.Clusters = append(derr.Clusters, diagnose(cl))
+		}
+		return Result{}, derr
 	}
 	return s.collect(now), nil
 }
@@ -331,9 +414,11 @@ func (s *Sim) collect(cycles uint64) Result {
 		ActiveCores:      s.activeSum,
 		Trace:            s.trace,
 	}
+	r.Faults = s.faults.Snapshot()
 	var l1dReads, l1dMisses uint64
 	var halfMissReqs, reads uint64
 	for _, cl := range s.clus {
+		r.DeadCores += cl.DeadCores()
 		m, _ := cl.EpochSnapshot()
 		r.Energy.Add(&m)
 		st := cl.Stats
@@ -380,9 +465,15 @@ func (s *Sim) collect(cycles uint64) Result {
 
 // Run is the convenience entry point: build and run one configuration.
 func Run(cfg config.Config, bench string, opts Options) (Result, error) {
+	return RunContext(context.Background(), cfg, bench, opts)
+}
+
+// RunContext is Run with cancellation: on ctx cancellation the partial
+// Result measured so far is returned alongside the context's error.
+func RunContext(ctx context.Context, cfg config.Config, bench string, opts Options) (Result, error) {
 	s, err := New(cfg, bench, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
