@@ -161,6 +161,25 @@ func BenchmarkFigure14(b *testing.B) {
 	b.ReportMetric(mean, "mean-active-cores")
 }
 
+// BenchmarkTable4 measures the parallel runner on the Figure 9 run set
+// (every Table IV configuration on two benchmarks), at serial and
+// 8-wide parallelism. On a multi-core machine jobs-8 should show
+// substantially lower ns/op; the reports must be identical either way.
+func BenchmarkTable4(b *testing.B) {
+	for _, jobs := range []int{1, 8} {
+		jobs := jobs
+		b.Run(map[int]string{1: "jobs-1", 8: "jobs-8"}[jobs], func(b *testing.B) {
+			var e float64
+			for i := 0; i < b.N; i++ {
+				r := benchRunner()
+				r.Jobs = jobs
+				e = r.Figure9().Mean(config.SHSTT)
+			}
+			b.ReportMetric(e, "SH-STT-norm-energy")
+		})
+	}
+}
+
 // BenchmarkSimThroughput measures raw simulator speed (instructions
 // simulated per second) on the proposed configuration.
 func BenchmarkSimThroughput(b *testing.B) {

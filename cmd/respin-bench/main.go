@@ -5,27 +5,32 @@
 // Usage:
 //
 //	respin-bench [-quick] [-quota N] [-trace-quota N] [-benches a,b,c]
-//	             [-only fig9] [-seed N] [-fault-seed N] [-o out.txt] [-q]
+//	             [-only fig9] [-seed N] [-fault-seed N] [-jobs N]
+//	             [-cpuprofile f] [-memprofile f] [-o out.txt] [-q]
 //
-// The full run simulates hundreds of configurations and takes tens of
-// minutes on one core; -quick runs a four-benchmark subset in a few
-// minutes. SIGINT cancels the evaluation; the sections completed so far
-// are still printed as a partial report.
+// The full run simulates hundreds of configurations; -jobs spreads them
+// over a worker pool (default: all cores), and -quick runs a
+// four-benchmark subset. SIGINT cancels the evaluation; the sections
+// completed so far are still printed as a partial report.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
 	"strings"
 
 	"respin/internal/experiments"
+	"respin/internal/prof"
 )
 
-func main() {
+// main delegates to run so deferred cleanup (profile flushing) survives
+// the explicit exit code.
+func main() { os.Exit(run()) }
+
+func run() int {
 	quick := flag.Bool("quick", false, "reduced benchmark set and quotas")
 	quota := flag.Uint64("quota", 0, "override per-thread instruction budget")
 	traceQuota := flag.Uint64("trace-quota", 0, "override consolidation-trace budget")
@@ -33,10 +38,27 @@ func main() {
 	only := flag.String("only", "", "run a single experiment: fig1,fig2,tab1,tab3,tab4,vmin,area,variation,workloads,fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14,faults")
 	seed := flag.Int64("seed", 0, "override randomness seed")
 	faultSeed := flag.Int64("fault-seed", 0, "override fault-injection seed (faults experiment)")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = all cores, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	out := flag.String("o", "", "also write the report to this file")
 	jsonOut := flag.String("json", "", "write the comparison summary as JSON to this file")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	flag.Parse()
+
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-bench: cpu profile: %v\n", err)
+		}
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-bench: heap profile: %v\n", err)
+		}
+	}()
 
 	r := experiments.NewRunner()
 	if *quick {
@@ -57,6 +79,7 @@ func main() {
 	if *faultSeed != 0 {
 		r.FaultSeed = *faultSeed
 	}
+	r.Jobs = *jobs
 	if !*quiet {
 		r.Progress = os.Stderr
 	}
@@ -66,7 +89,12 @@ func main() {
 
 	var text string
 	if *only != "" {
-		text = runOne(r, *only)
+		var ok bool
+		text, ok = runOne(r, *only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "respin-bench: unknown experiment %q\n", *only)
+			return 2
+		}
 	} else {
 		suite := r.All()
 		text = suite.Report()
@@ -77,7 +105,7 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -86,63 +114,60 @@ func main() {
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if r.Aborted() {
 		fmt.Fprintln(os.Stderr, "respin-bench: interrupted — report is partial")
-		os.Exit(130)
+		return 130
 	}
+	return 0
 }
 
 // runOne dispatches a single experiment by id.
-func runOne(r *experiments.Runner, id string) string {
+func runOne(r *experiments.Runner, id string) (string, bool) {
 	switch id {
 	case "fig1":
-		return experiments.Figure1().Render()
+		return experiments.Figure1().Render(), true
 	case "tab1":
-		return experiments.TableI()
+		return experiments.TableI(), true
 	case "tab3":
-		return experiments.TableIII()
+		return experiments.TableIII(), true
 	case "tab4":
-		return experiments.TableIV()
+		return experiments.TableIV(), true
 	case "fig6":
-		return r.Figure6().Render()
+		return r.Figure6().Render(), true
 	case "fig7":
-		return r.Figure7().Render()
+		return r.Figure7().Render(), true
 	case "fig8":
-		return r.Figure8().Render()
+		return r.Figure8().Render(), true
 	case "fig9":
-		return r.Figure9().Render()
+		return r.Figure9().Render(), true
 	case "sweep", "tabV-D":
-		return r.ClusterSweep().Render()
+		return r.ClusterSweep().Render(), true
 	case "fig10":
-		return r.Figure10().Render()
+		return r.Figure10().Render(), true
 	case "fig11":
-		return r.Figure11().Render()
+		return r.Figure11().Render(), true
 	case "fig12":
-		return r.ConsolidationTrace("radix").Render()
+		return r.ConsolidationTrace("radix").Render(), true
 	case "fig13":
-		return r.ConsolidationTrace("lu").Render()
+		return r.ConsolidationTrace("lu").Render(), true
 	case "fig14":
-		return r.Figure14().Render()
+		return r.Figure14().Render(), true
 	case "faults":
-		return r.FaultSweep().Render()
+		return r.FaultSweep().Render(), true
 	case "floorplan", "fig2":
-		return experiments.Floorplan()
+		return experiments.Floorplan(), true
 	case "vmin":
-		return experiments.VminStudy().Render()
+		return experiments.VminStudy().Render(), true
 	case "area":
-		return experiments.AreaStudy().Render()
+		return experiments.AreaStudy().Render(), true
 	case "variation":
-		return experiments.VariationStudy().Render()
+		return experiments.VariationStudy().Render(), true
 	case "workloads":
-		return r.WorkloadTable().Render()
+		return r.WorkloadTable().Render(), true
 	default:
-		fmt.Fprintf(os.Stderr, "respin-bench: unknown experiment %q\n", id)
-		os.Exit(2)
-		return ""
+		return "", false
 	}
 }
-
-var _ io.Writer // keep io imported for the Progress field's documentation

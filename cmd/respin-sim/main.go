@@ -6,6 +6,7 @@
 //
 //	respin-sim [-config SH-STT] [-bench fft] [-scale medium]
 //	           [-cluster 16] [-quota 150000] [-seed 1] [-trace]
+//	           [-jobs N] [-cpuprofile f] [-memprofile f]
 //	           [-fault-seed 1] [-stt-write-fail P] [-sram-bitflip P]
 //	           [-ecc SECDED] [-kill-cores N] [-kill-cycle C]
 //
@@ -20,18 +21,24 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 
 	"respin/internal/config"
 	"respin/internal/faults"
 	"respin/internal/power"
+	"respin/internal/prof"
 	"respin/internal/report"
 	"respin/internal/sim"
 	"respin/internal/trace"
 	"respin/internal/variation"
 )
 
-func main() {
+// main delegates to run so deferred cleanup (profile flushing) survives
+// the explicit exit code.
+func main() { os.Exit(run()) }
+
+func run() int {
 	cfgName := flag.String("config", "SH-STT", "Table IV configuration name")
 	bench := flag.String("bench", "fft", "benchmark name (see -list)")
 	scaleName := flag.String("scale", "medium", "cache scale: small, medium, large")
@@ -41,8 +48,15 @@ func main() {
 	epochTrace := flag.Bool("trace", false, "print the consolidation trace")
 	dieMap := flag.Bool("diemap", false, "print the variation die map before running")
 	list := flag.Bool("list", false, "list configurations and benchmarks")
+	jobs := flag.Int("jobs", 0, "cap scheduler parallelism (0 = all cores); one sim uses one core")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	faultFlags := faults.Bind()
 	flag.Parse()
+
+	if *jobs > 0 {
+		runtime.GOMAXPROCS(*jobs)
+	}
 
 	if *list {
 		fmt.Println("configurations:")
@@ -53,16 +67,16 @@ func main() {
 		for _, n := range trace.Names() {
 			fmt.Printf("  %s\n", n)
 		}
-		return
+		return 0
 	}
 
 	kind, err := kindByName(*cfgName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	scale, err := scaleByName(*scaleName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	cfg := config.NewWithCluster(kind, scale, *cluster)
@@ -74,8 +88,21 @@ func main() {
 	}
 	fp, err := faultFlags.Params(cfg.NumClusters())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
+
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-sim: cpu profile: %v\n", err)
+		}
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-sim: heap profile: %v\n", err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -84,7 +111,7 @@ func main() {
 	})
 	partial := err != nil && errors.Is(err, context.Canceled)
 	if err != nil && !partial {
-		fatal(err)
+		return fail(err)
 	}
 
 	fmt.Printf("%v on %s (%v cache, %d-core clusters, %d instr/thread)\n\n",
@@ -127,6 +154,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(report.Trace("consolidation trace (active cores, cluster 0):", &res.Trace, 16, 32, 32))
 	}
+	return 0
 }
 
 func kindByName(name string) (config.ArchKind, error) {
@@ -150,7 +178,7 @@ func scaleByName(name string) (config.CacheScale, error) {
 	return 0, fmt.Errorf("unknown scale %q", name)
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "respin-sim: %v\n", err)
-	os.Exit(1)
+	return 1
 }

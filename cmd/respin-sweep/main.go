@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	respin-sweep -sweep cluster|epoch|arbitration [-bench fft]
+//	respin-sweep -sweep cluster|epoch|scale [-bench fft] [-jobs N]
 //	             [-quota N] [-seed N] [-fault-seed N] [-stt-write-fail P]
+//
+// Sweep points are independent simulations, so they run on a worker
+// pool (-jobs wide, default all cores) and are rendered in sweep order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"respin/internal/config"
 	"respin/internal/faults"
@@ -25,6 +30,7 @@ func main() {
 	bench := flag.String("bench", "fft", "benchmark")
 	quota := flag.Uint64("quota", 100_000, "per-thread instruction budget")
 	seed := flag.Int64("seed", 1, "randomness seed")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = all cores)")
 	faultFlags := faults.Bind()
 	flag.Parse()
 
@@ -38,25 +44,55 @@ func main() {
 	opts := sim.Options{QuotaInstr: *quota, Seed: *seed, Faults: fp}
 	switch *sweep {
 	case "cluster":
-		sweepCluster(*bench, opts)
+		sweepCluster(*bench, opts, *jobs)
 	case "epoch":
-		sweepEpoch(*bench, opts)
+		sweepEpoch(*bench, opts, *jobs)
 	case "scale":
-		sweepScale(*bench, opts)
+		sweepScale(*bench, opts, *jobs)
 	default:
 		fmt.Fprintf(os.Stderr, "respin-sweep: unknown sweep %q\n", *sweep)
 		os.Exit(2)
 	}
 }
 
+// runAll executes fn(0..n-1) with at most jobs concurrent workers and
+// returns once every call finished. Callers fill an indexed slice from
+// fn, so sweep output stays in sweep order regardless of completion
+// order.
+func runAll(jobs, n int, fn func(i int)) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // sweepCluster reproduces the Section V.D cluster-size study for one
 // benchmark.
-func sweepCluster(bench string, opts sim.Options) {
-	base := mustRun(config.New(config.PRSRAMNT, config.Medium), bench, opts)
+func sweepCluster(bench string, opts sim.Options, jobs int) {
+	sizes := []int{4, 8, 16, 32}
+	cfgs := []config.Config{config.New(config.PRSRAMNT, config.Medium)}
+	for _, cs := range sizes {
+		cfgs = append(cfgs, config.NewWithCluster(config.SHSTT, config.Medium, cs))
+	}
+	results := make([]sim.Result, len(cfgs))
+	runAll(jobs, len(cfgs), func(i int) { results[i] = mustRun(cfgs[i], bench, opts) })
+
+	base := results[0]
 	t := report.NewTable(fmt.Sprintf("cluster-size sweep, %s", bench),
 		"cores/cluster", "shared L1", "time vs baseline", "half-miss", "1-cycle reads")
-	for _, cs := range []int{4, 8, 16, 32} {
-		res := mustRun(config.NewWithCluster(config.SHSTT, config.Medium, cs), bench, opts)
+	for i, cs := range sizes {
+		res := results[i+1]
 		t.AddRow(fmt.Sprintf("%d", cs), fmt.Sprintf("%dKB", 16*cs),
 			report.Norm(float64(res.Cycles)/float64(base.Cycles)),
 			report.PctU(res.HalfMissRate),
@@ -67,14 +103,22 @@ func sweepCluster(bench string, opts sim.Options) {
 
 // sweepEpoch varies the consolidation epoch around the paper's 160K
 // instructions.
-func sweepEpoch(bench string, opts sim.Options) {
-	base := mustRun(config.New(config.SHSTT, config.Medium), bench, opts)
-	t := report.NewTable(fmt.Sprintf("consolidation epoch sweep, %s (energy vs SH-STT)", bench),
-		"epoch instr", "energy", "time", "mean active", "migrations")
-	for _, epoch := range []uint64{40_000, 80_000, 160_000, 320_000, 640_000} {
+func sweepEpoch(bench string, opts sim.Options, jobs int) {
+	epochs := []uint64{40_000, 80_000, 160_000, 320_000, 640_000}
+	cfgs := []config.Config{config.New(config.SHSTT, config.Medium)}
+	for _, epoch := range epochs {
 		cfg := config.New(config.SHSTTCC, config.Medium)
 		cfg.ConsolidationParams.EpochInstructions = epoch
-		res := mustRun(cfg, bench, opts)
+		cfgs = append(cfgs, cfg)
+	}
+	results := make([]sim.Result, len(cfgs))
+	runAll(jobs, len(cfgs), func(i int) { results[i] = mustRun(cfgs[i], bench, opts) })
+
+	base := results[0]
+	t := report.NewTable(fmt.Sprintf("consolidation epoch sweep, %s (energy vs SH-STT)", bench),
+		"epoch instr", "energy", "time", "mean active", "migrations")
+	for i, epoch := range epochs {
+		res := results[i+1]
 		t.AddRow(fmt.Sprintf("%d", epoch),
 			report.Norm(res.EnergyPJ/base.EnergyPJ),
 			report.Norm(float64(res.Cycles)/float64(base.Cycles)),
@@ -85,16 +129,23 @@ func sweepEpoch(bench string, opts sim.Options) {
 }
 
 // sweepScale compares the three Table I cache scales for one benchmark.
-func sweepScale(bench string, opts sim.Options) {
-	t := report.NewTable(fmt.Sprintf("cache-scale sweep, %s", bench),
-		"scale", "config", "time", "power", "energy")
+func sweepScale(bench string, opts sim.Options, jobs int) {
+	var cfgs []config.Config
 	for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
 		for _, kind := range []config.ArchKind{config.PRSRAMNT, config.SHSTT} {
-			res := mustRun(config.New(kind, scale), bench, opts)
-			t.AddRow(scale.String(), kind.String(),
-				report.Millis(res.TimePS), report.Watts(res.AvgPowerW),
-				report.Joules(res.EnergyPJ))
+			cfgs = append(cfgs, config.New(kind, scale))
 		}
+	}
+	results := make([]sim.Result, len(cfgs))
+	runAll(jobs, len(cfgs), func(i int) { results[i] = mustRun(cfgs[i], bench, opts) })
+
+	t := report.NewTable(fmt.Sprintf("cache-scale sweep, %s", bench),
+		"scale", "config", "time", "power", "energy")
+	for i, cfg := range cfgs {
+		res := results[i]
+		t.AddRow(cfg.Scale.String(), cfg.Kind.String(),
+			report.Millis(res.TimePS), report.Watts(res.AvgPowerW),
+			report.Joules(res.EnergyPJ))
 	}
 	fmt.Print(t.String())
 }

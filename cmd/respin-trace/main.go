@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -28,8 +29,13 @@ func main() {
 	quota := flag.Uint64("quota", 400_000, "per-thread instruction budget")
 	seed := flag.Int64("seed", 1, "randomness seed")
 	what := flag.String("what", "trace", "output: trace, histograms")
+	jobs := flag.Int("jobs", 0, "cap scheduler parallelism (0 = all cores); one sim uses one core")
 	faultFlags := faults.Bind()
 	flag.Parse()
+
+	if *jobs > 0 {
+		runtime.GOMAXPROCS(*jobs)
+	}
 
 	kind, err := kindByName(*cfgName)
 	if err != nil {

@@ -303,3 +303,14 @@ func (c *Core) run(alreadyIssued int) int {
 
 // FetchInFlight reports whether an instruction fetch is outstanding.
 func (c *Core) FetchInFlight() bool { return c.fetchOutstanding }
+
+// SkipStalls accounts n clock edges of a fast-forwarded idle window as
+// stall cycles. The hosting cluster may only use it while the core is
+// blocked on an outstanding memory operation, where Step would do
+// nothing but count the stall.
+func (c *Core) SkipStalls(n uint64) {
+	if c.state != WaitLoad && c.state != WaitIFetch {
+		panic(fmt.Sprintf("cpu: SkipStalls in state %v", c.state))
+	}
+	c.stalls += n
+}

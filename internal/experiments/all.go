@@ -27,6 +27,10 @@ type Suite struct {
 // paper-vs-measured summary. With the full Runner this takes tens of
 // minutes on one core.
 func (r *Runner) All() *Suite {
+	// Enqueue the whole evaluation's run set up front: the worker pool
+	// stays saturated across figure boundaries while the sections below
+	// consume results in deterministic order.
+	r.Prefetch(r.EvalPoints()...)
 	s := &Suite{}
 	add := func(sec string) { s.Sections = append(s.Sections, sec) }
 	// interrupted truncates the evaluation after Ctx cancellation:

@@ -21,6 +21,7 @@ type TraceResult struct {
 // ConsolidationTrace runs SH-STT-CC and SH-STT-CC-Oracle on one
 // benchmark with epoch tracing (Figure 12 uses radix, Figure 13 lu).
 func (r *Runner) ConsolidationTrace(bench string) TraceResult {
+	r.Prefetch(r.tracePoints(bench)...)
 	base := r.run(config.PRSRAMNT, config.Medium, 16, bench, r.TraceQuota, false)
 	cc := r.run(config.SHSTTCC, config.Medium, 16, bench, r.TraceQuota, true)
 	oracle := r.run(config.SHSTTCCOracle, config.Medium, 16, bench, r.TraceQuota, true)
@@ -56,6 +57,7 @@ type Figure14Result struct{ Rows []Figure14Row }
 // Figure14 measures the average (and range of) active cores per cluster
 // under SH-STT-CC for every benchmark, startup excluded.
 func (r *Runner) Figure14() Figure14Result {
+	r.Prefetch(r.figure14Points()...)
 	var out Figure14Result
 	for _, bench := range r.Benches {
 		res := r.run(config.SHSTTCC, config.Medium, 16, bench, r.TraceQuota, false)

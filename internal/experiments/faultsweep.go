@@ -52,6 +52,34 @@ func (r *Runner) FaultSweep() *FaultStudy {
 	}
 	st := &FaultStudy{Bench: bench}
 
+	// Enqueue every sweep point up front so the pool stays saturated
+	// while the rows below consume results in order.
+	r.prefetch(
+		func() { r.runFault("clean", config.SHSTT, bench, faults.Params{}) },
+		func() { r.runFault("clean", config.PRSRAMNT, bench, faults.Params{}) },
+		func() { r.runFault("clean", config.SHSTTCC, bench, faults.Params{}) },
+	)
+	for _, p := range []float64{1e-4, 1e-3, 1e-2} {
+		p := p
+		r.prefetch(func() {
+			r.runFault(fmt.Sprintf("stt-%g", p), config.SHSTT, bench,
+				faults.Params{Seed: r.faultSeed(), STTWriteFailProb: p})
+		})
+	}
+	r.prefetch(func() {
+		r.runFault("sram-rail", config.PRSRAMNT, bench,
+			faults.Params{Seed: r.faultSeed(), SRAMBitFlipPerCell: -1, ECC: reliability.SECDED})
+	})
+	for _, n := range []int{2, 4, 6} {
+		n := n
+		r.prefetch(func() {
+			r.runFault(fmt.Sprintf("kill-%d", n), config.SHSTTCC, bench, faults.Params{
+				Seed:  r.faultSeed(),
+				Kills: faults.KillFirstN(config.New(config.SHSTTCC, config.Medium).NumClusters(), n, 20_000),
+			})
+		})
+	}
+
 	// STT write failures (SH-STT, no consolidation: isolates the
 	// retry cost).
 	clean := r.runFault("clean", config.SHSTT, bench, faults.Params{})
@@ -92,38 +120,28 @@ func (r *Runner) faultSeed() int64 {
 	return 1
 }
 
-// runFault executes (or recalls) one fault-injected simulation.
+// runFault executes (or recalls, or joins) one fault-injected
+// simulation through the same singleflight pool as the plain runs.
 func (r *Runner) runFault(tag string, kind config.ArchKind, bench string, fp faults.Params) sim.Result {
 	key := fmt.Sprintf("fault|%s|%v|%s|%d", tag, kind, bench, r.Quota)
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
-
-	cfg := config.New(kind, config.Medium)
-	res, err := sim.RunContext(r.ctx(), cfg, bench, sim.Options{
-		QuotaInstr: r.Quota,
-		Seed:       r.Seed,
-		Faults:     fp,
-	})
-	if err != nil {
-		if r.ctx().Err() != nil {
-			r.setAborted()
-			return res
+	return r.shared(key, func() (sim.Result, error) {
+		cfg := config.New(kind, config.Medium)
+		res, err := sim.RunContext(r.ctx(), cfg, bench, sim.Options{
+			QuotaInstr: r.Quota,
+			Seed:       r.Seed,
+			Faults:     fp,
+		})
+		if err != nil {
+			if r.ctx().Err() != nil {
+				return res, err
+			}
+			panic(fmt.Sprintf("experiments: fault sweep %s %v %s (seed %d, fault seed %d): %v",
+				tag, kind, bench, r.Seed, fp.Seed, err))
 		}
-		panic(fmt.Sprintf("experiments: fault sweep %s %v %s (seed %d, fault seed %d): %v",
-			tag, kind, bench, r.Seed, fp.Seed, err))
-	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "ran %-16v fault:%-10s %-14s: %8d kcycles, %s\n",
+		r.progressf("ran %-16v fault:%-10s %-14s: %8d kcycles, %s\n",
 			kind, tag, bench, res.Cycles/1000, fmtEnergy(res.EnergyPJ))
-	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	return res
+		return res, nil
+	})
 }
 
 func (st *FaultStudy) addRow(label string, res, clean sim.Result, p float64, kills int, fromRail bool) {

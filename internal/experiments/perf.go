@@ -26,6 +26,7 @@ type Figure6Result struct{ Rows []Figure6Row }
 // SH-SRAM-Nom at the three cache scales (benchmark arithmetic mean, as
 // in the paper's figure).
 func (r *Runner) Figure6() Figure6Result {
+	r.Prefetch(r.figure6Points()...)
 	kinds := []config.ArchKind{config.PRSRAMNT, config.SHSTT, config.SHSRAMNom}
 	var out Figure6Result
 	for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
@@ -85,6 +86,7 @@ var figure7Kinds = []config.ArchKind{config.SHSTT, config.SHSRAMNom, config.HPSR
 
 // Figure7 measures execution time normalised to PR-SRAM-NT.
 func (r *Runner) Figure7() Figure7Result {
+	r.Prefetch(r.figure7Points()...)
 	out := Figure7Result{Benches: r.Benches, Normalized: map[config.ArchKind][]float64{}}
 	for _, bench := range r.Benches {
 		base := r.medium(config.PRSRAMNT, bench)
@@ -137,6 +139,7 @@ type Figure8Result struct {
 
 // Figure8 measures energy by cache scale for SH-STT and SH-SRAM-Nom.
 func (r *Runner) Figure8() Figure8Result {
+	r.Prefetch(r.figure6Points()...) // Figure 8 reuses Figure 6's run set
 	kinds := []config.ArchKind{config.SHSTT, config.SHSRAMNom}
 	out := Figure8Result{Normalized: map[config.CacheScale]map[config.ArchKind]float64{}}
 	for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
@@ -182,6 +185,7 @@ type Figure9Result struct {
 // Figure9 measures energy normalised to PR-SRAM-NT for every Table IV
 // configuration.
 func (r *Runner) Figure9() Figure9Result {
+	r.Prefetch(r.figure9Points()...)
 	out := Figure9Result{Benches: r.Benches, Normalized: map[config.ArchKind][]float64{}}
 	for _, bench := range r.Benches {
 		base := r.medium(config.PRSRAMNT, bench)
@@ -234,6 +238,7 @@ type ClusterSweepResult struct{ Rows []ClusterSweepRow }
 // ClusterSweep measures the optimal cluster size: SH-STT at 4, 8, 16 and
 // 32 cores per cluster versus the fixed PR-SRAM-NT baseline.
 func (r *Runner) ClusterSweep() ClusterSweepResult {
+	r.Prefetch(r.clusterSweepPoints()...)
 	var out ClusterSweepResult
 	for _, cs := range []int{4, 8, 16, 32} {
 		var vals []float64

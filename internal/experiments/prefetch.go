@@ -1,0 +1,138 @@
+package experiments
+
+import "respin/internal/config"
+
+// This file enumerates each figure driver's run set as Points. Drivers
+// prefetch their set before consuming results, and All prefetches the
+// union up front, so the worker pool stays saturated across figure
+// boundaries while the report is still assembled in deterministic order.
+
+// mediumPoint is the default configuration point (medium scale, 16-core
+// clusters, main quota).
+func (r *Runner) mediumPoint(kind config.ArchKind, bench string) Point {
+	return Point{Kind: kind, Scale: config.Medium, ClusterSize: 16, Bench: bench, Quota: r.Quota}
+}
+
+// figure6Points covers Figures 6 and 8: three scales x three
+// configurations x every benchmark.
+func (r *Runner) figure6Points() []Point {
+	var pts []Point
+	for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
+		for _, kind := range []config.ArchKind{config.PRSRAMNT, config.SHSTT, config.SHSRAMNom} {
+			for _, bench := range r.Benches {
+				pts = append(pts, Point{Kind: kind, Scale: scale, ClusterSize: 16, Bench: bench, Quota: r.Quota})
+			}
+		}
+	}
+	return pts
+}
+
+// figure7Points covers Figure 7: the baseline plus figure7Kinds at the
+// default point.
+func (r *Runner) figure7Points() []Point {
+	var pts []Point
+	for _, bench := range r.Benches {
+		pts = append(pts, r.mediumPoint(config.PRSRAMNT, bench))
+		for _, kind := range figure7Kinds {
+			pts = append(pts, r.mediumPoint(kind, bench))
+		}
+	}
+	return pts
+}
+
+// figure9Points covers Figure 9: the baseline plus every Table IV
+// configuration at the default point.
+func (r *Runner) figure9Points() []Point {
+	var pts []Point
+	for _, bench := range r.Benches {
+		pts = append(pts, r.mediumPoint(config.PRSRAMNT, bench))
+		for _, kind := range figure9Kinds {
+			pts = append(pts, r.mediumPoint(kind, bench))
+		}
+	}
+	return pts
+}
+
+// clusterSweepPoints covers the Section V.D sweep.
+func (r *Runner) clusterSweepPoints() []Point {
+	var pts []Point
+	for _, bench := range r.Benches {
+		pts = append(pts, r.mediumPoint(config.PRSRAMNT, bench))
+		for _, cs := range []int{4, 8, 16, 32} {
+			pts = append(pts, Point{Kind: config.SHSTT, Scale: config.Medium, ClusterSize: cs, Bench: bench, Quota: r.Quota})
+		}
+	}
+	return pts
+}
+
+// sharedStatsPoints covers Figures 10 and 11 (both reuse the SH-STT
+// default runs).
+func (r *Runner) sharedStatsPoints() []Point {
+	var pts []Point
+	for _, bench := range r.Benches {
+		pts = append(pts, r.mediumPoint(config.SHSTT, bench))
+	}
+	return pts
+}
+
+// tracePoints covers one consolidation trace (Figures 12/13).
+func (r *Runner) tracePoints(bench string) []Point {
+	return []Point{
+		{Kind: config.PRSRAMNT, Scale: config.Medium, ClusterSize: 16, Bench: bench, Quota: r.TraceQuota},
+		{Kind: config.SHSTTCC, Scale: config.Medium, ClusterSize: 16, Bench: bench, Quota: r.TraceQuota, EpochTrace: true},
+		{Kind: config.SHSTTCCOracle, Scale: config.Medium, ClusterSize: 16, Bench: bench, Quota: r.TraceQuota, EpochTrace: true},
+	}
+}
+
+// figure14Points covers the active-core study.
+func (r *Runner) figure14Points() []Point {
+	var pts []Point
+	for _, bench := range r.Benches {
+		pts = append(pts, Point{Kind: config.SHSTTCC, Scale: config.Medium, ClusterSize: 16, Bench: bench, Quota: r.TraceQuota})
+	}
+	return pts
+}
+
+// workloadPoints covers the workload characterisation table.
+func (r *Runner) workloadPoints() []Point {
+	var pts []Point
+	for _, bench := range r.Benches {
+		pts = append(pts, r.mediumPoint(config.PRSRAMNT, bench))
+	}
+	return pts
+}
+
+// EvalPoints returns the full evaluation's deduplicated run set in the
+// order All consumes it. All prefetches this so the pool never drains
+// between figures.
+func (r *Runner) EvalPoints() []Point {
+	var pts []Point
+	pts = append(pts, r.workloadPoints()...)
+	pts = append(pts, r.figure6Points()...)
+	pts = append(pts, r.figure7Points()...)
+	pts = append(pts, r.figure9Points()...)
+	pts = append(pts, r.clusterSweepPoints()...)
+	pts = append(pts, r.sharedStatsPoints()...)
+	for _, bench := range []string{"radix", "lu"} {
+		if contains(r.Benches, bench) {
+			pts = append(pts, r.tracePoints(bench)...)
+		}
+	}
+	pts = append(pts, r.figure14Points()...)
+	return dedupePoints(pts)
+}
+
+// dedupePoints removes duplicate points, preserving first-seen order.
+func dedupePoints(pts []Point) []Point {
+	seen := make(map[string]bool, len(pts))
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		k := p.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	return out
+}

@@ -3,12 +3,19 @@
 // tables). Each experiment has a driver that runs the required simulator
 // configurations (results are cached and shared between figures) and a
 // renderer that prints rows/series comparable with the paper's.
+//
+// Simulations dispatch onto a worker pool (Jobs wide) with singleflight
+// deduplication: two figures requesting the same configuration point
+// share one in-flight run instead of racing. Drivers consume results by
+// key, never by completion order, so report output is byte-identical at
+// any parallelism.
 package experiments
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"respin/internal/config"
@@ -32,16 +39,46 @@ type Runner struct {
 	// Benches is the benchmark list (default: all 13).
 	Benches []string
 	// Progress, when non-nil, receives one line per completed run.
+	// Writes are serialised under the runner's lock, so any io.Writer
+	// is safe.
 	Progress io.Writer
 	// Ctx, when non-nil, cancels in-flight simulations: after
 	// cancellation each run returns its partial result, Aborted
 	// reports true, and All truncates to a partial report instead of
 	// discarding completed sections.
 	Ctx context.Context
+	// Jobs bounds how many simulations run concurrently. Zero selects
+	// GOMAXPROCS; one reproduces the serial runner.
+	Jobs int
 
 	mu      sync.Mutex
-	cache   map[string]sim.Result
+	cache   map[string]*flight
+	sem     chan struct{}
 	aborted bool
+}
+
+// flight is one singleflight cache entry. The first requester of a key
+// (the leader) runs the simulation on a worker-pool slot; requesters
+// arriving while it is in flight block on done and share the result.
+type flight struct {
+	done chan struct{}
+	res  sim.Result
+}
+
+// Point identifies one simulation of the evaluation's run set: the cache
+// key fields of Runner.run, made addressable so drivers can enqueue
+// batches ahead of consumption (Prefetch).
+type Point struct {
+	Kind        config.ArchKind
+	Scale       config.CacheScale
+	ClusterSize int
+	Bench       string
+	Quota       uint64
+	EpochTrace  bool
+}
+
+func (p Point) key() string {
+	return fmt.Sprintf("%v|%v|%d|%s|%d|%v", p.Kind, p.Scale, p.ClusterSize, p.Bench, p.Quota, p.EpochTrace)
 }
 
 // ctx returns the cancellation context (Background when unset).
@@ -65,6 +102,15 @@ func (r *Runner) setAborted() {
 	r.mu.Unlock()
 }
 
+// progressf writes one progress line under the runner's lock.
+func (r *Runner) progressf(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, format, args...)
+	}
+}
+
 // NewRunner returns the full-fidelity runner used by cmd/respin-bench.
 func NewRunner() *Runner {
 	return &Runner{
@@ -72,7 +118,7 @@ func NewRunner() *Runner {
 		TraceQuota: 400_000,
 		Seed:       1,
 		Benches:    trace.Names(),
-		cache:      make(map[string]sim.Result),
+		cache:      make(map[string]*flight),
 	}
 }
 
@@ -84,40 +130,120 @@ func QuickRunner() *Runner {
 		TraceQuota: 120_000,
 		Seed:       1,
 		Benches:    []string{"fft", "ocean", "radix", "raytrace"},
-		cache:      make(map[string]sim.Result),
+		cache:      make(map[string]*flight),
+	}
+}
+
+// semLocked returns the worker-pool semaphore, sized on first use so
+// Jobs can be assigned any time before the first run. Callers hold mu.
+func (r *Runner) semLocked() chan struct{} {
+	if r.sem == nil {
+		n := r.Jobs
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.sem = make(chan struct{}, n)
+	}
+	return r.sem
+}
+
+// shared executes fn for key exactly once across concurrent requesters.
+// The leader takes a worker-pool slot and publishes its result to every
+// requester that arrived in the meantime. Completed results are cached;
+// a run cut short by Ctx cancellation is handed to its current waiters
+// but never cached, so a partial result can never masquerade as a
+// complete one. fn returns a non-nil error only for cancellation —
+// simulator failures become attributed panics inside fn.
+func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*flight)
+	}
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.res
+	}
+	f := &flight{done: make(chan struct{})}
+	r.cache[key] = f
+	sem := r.semLocked()
+	r.mu.Unlock()
+
+	sem <- struct{}{}
+	res, err := func() (sim.Result, error) {
+		defer func() { <-sem }()
+		defer func() {
+			if p := recover(); p != nil {
+				// The process is about to die with the attributed
+				// panic; drop the entry and unblock waiters so shutdown
+				// isn't wedged behind the flight.
+				r.mu.Lock()
+				delete(r.cache, key)
+				r.mu.Unlock()
+				close(f.done)
+				panic(p)
+			}
+		}()
+		return fn()
+	}()
+	r.mu.Lock()
+	if err != nil {
+		// Cancelled: the partial result reaches current waiters via the
+		// flight, but the cache entry is removed so nothing later can
+		// read it back as complete.
+		delete(r.cache, key)
+		r.aborted = true
+	}
+	r.mu.Unlock()
+	f.res = res
+	close(f.done)
+	return res
+}
+
+// Prefetch enqueues simulations without waiting for their results: each
+// point starts (or joins) its singleflight run on the worker pool, so a
+// driver can queue a whole figure's — or the whole evaluation's — run
+// set up front and keep the pool saturated while it consumes results in
+// deterministic order.
+func (r *Runner) Prefetch(points ...Point) {
+	for _, p := range points {
+		p := p
+		go r.runPoint(p)
+	}
+}
+
+// prefetch enqueues cached runs that Point cannot express (the fault
+// sweep's injection parameters).
+func (r *Runner) prefetch(fns ...func()) {
+	for _, fn := range fns {
+		go fn()
 	}
 }
 
 // run executes (or recalls) one simulation.
 func (r *Runner) run(kind config.ArchKind, scale config.CacheScale, clusterSize int, bench string, quota uint64, epochTrace bool) sim.Result {
-	key := fmt.Sprintf("%v|%v|%d|%s|%d|%v", kind, scale, clusterSize, bench, quota, epochTrace)
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
+	return r.runPoint(Point{
+		Kind: kind, Scale: scale, ClusterSize: clusterSize,
+		Bench: bench, Quota: quota, EpochTrace: epochTrace,
+	})
+}
 
-	cfg := config.NewWithCluster(kind, scale, clusterSize)
-	res, err := r.runSim(cfg, bench, quota, epochTrace)
-	if err != nil {
-		if r.ctx().Err() != nil {
-			// Cancelled mid-run: remember, hand back the partial
-			// result uncached, and let the driver truncate its report.
-			r.setAborted()
-			return res
+// runPoint executes (or recalls, or joins) the simulation for one point.
+func (r *Runner) runPoint(p Point) sim.Result {
+	return r.shared(p.key(), func() (sim.Result, error) {
+		cfg := config.NewWithCluster(p.Kind, p.Scale, p.ClusterSize)
+		res, err := r.runSim(cfg, p.Bench, p.Quota, p.EpochTrace)
+		if err != nil {
+			if r.ctx().Err() != nil {
+				return res, err
+			}
+			panic(fmt.Sprintf("experiments: %v %v cl%d %s (seed %d, quota %d): %v",
+				p.Kind, p.Scale, p.ClusterSize, p.Bench, r.Seed, p.Quota, err))
 		}
-		panic(fmt.Sprintf("experiments: %v %v cl%d %s (seed %d, quota %d): %v",
-			kind, scale, clusterSize, bench, r.Seed, quota, err))
-	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "ran %-16v %-6v cl%-2d %-14s: %8d kcycles, %s\n",
-			kind, scale, clusterSize, bench, res.Cycles/1000, fmtEnergy(res.EnergyPJ))
-	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	return res
+		r.progressf("ran %-16v %-6v cl%-2d %-14s: %8d kcycles, %s\n",
+			p.Kind, p.Scale, p.ClusterSize, p.Bench, res.Cycles/1000, fmtEnergy(res.EnergyPJ))
+		return res, nil
+	})
 }
 
 // runSim executes one simulation with panic attribution: a panic inside
@@ -127,8 +253,8 @@ func (r *Runner) run(kind config.ArchKind, scale config.CacheScale, clusterSize 
 func (r *Runner) runSim(cfg config.Config, bench string, quota uint64, epochTrace bool) (res sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			panic(fmt.Sprintf("experiments: panic during %v/%v cl%d %s (seed %d, quota %d): %v",
-				cfg.Kind, cfg.Scale, cfg.ClusterSize, bench, r.Seed, quota, p))
+			panic(fmt.Sprintf("experiments: panic during %v/%v cl%d %s (seed %d, fault seed %d, quota %d): %v",
+				cfg.Kind, cfg.Scale, cfg.ClusterSize, bench, r.Seed, r.faultSeed(), quota, p))
 		}
 	}()
 	return sim.RunContext(r.ctx(), cfg, bench, sim.Options{

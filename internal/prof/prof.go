@@ -1,0 +1,51 @@
+// Package prof wires runtime/pprof into the command-line tools: a CPU
+// profile spanning the whole run and a heap snapshot at exit, both
+// opt-in via empty-path no-ops so commands can pass flag values through
+// unconditionally.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the stop
+// function that ends the profile and closes the file. An empty path is
+// a no-op (the returned stop does nothing).
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeap snapshots the heap profile to path (after a GC, so the
+// numbers reflect live data rather than collection timing). An empty
+// path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialise up-to-date allocation statistics
+	werr := pprof.Lookup("heap").WriteTo(f, 0)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

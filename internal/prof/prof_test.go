@@ -1,0 +1,64 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEmptyPathsAreNoOps(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeap(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUProfileWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPU(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("CPU profile is empty")
+	}
+}
+
+func TestHeapProfileWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	if err := WriteHeap(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}
+
+func TestStartCPUBadPath(t *testing.T) {
+	if _, err := StartCPU(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")); err == nil {
+		t.Error("expected error for uncreatable path")
+	}
+}

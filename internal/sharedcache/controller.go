@@ -291,6 +291,26 @@ func (c *Controller) PriorityBits(core int) string {
 	return string(bits)
 }
 
+// Idle reports whether the controller holds no request state at all: no
+// active read registers, an empty write queue, and nothing in
+// wire/level-shifter transit. An idle controller's Tick does nothing but
+// advance the cycle and record a zero-arrival observation, which is what
+// makes the cluster's idle fast-forward possible.
+func (c *Controller) Idle() bool {
+	return c.activeReads == 0 && len(c.writeQueue) == 0 && c.pendingN == 0
+}
+
+// SkipIdle replays k idle Tick calls at once: the cycle counter advances
+// by k and the Figure 10 arrival histogram records k empty cycles. The
+// controller must be Idle; results are bit-identical to ticking k times.
+func (c *Controller) SkipIdle(k uint64) {
+	if !c.Idle() {
+		panic("sharedcache: SkipIdle on a non-idle controller")
+	}
+	c.cycle += k
+	c.Stats.ArrivalsPerCycle.ObserveN(0, k)
+}
+
 // Tick advances one cache cycle: one read and one write are serviced,
 // unserviced registers shift right, and the requests that finished their
 // wire/level-shifter transit become visible for the next cycle. It
@@ -298,7 +318,7 @@ func (c *Controller) PriorityBits(core int) string {
 // reused by the next Tick call.
 func (c *Controller) Tick() []Serviced {
 	// Idle fast path: nothing active, queued or in transit.
-	if c.activeReads == 0 && len(c.writeQueue) == 0 && c.pendingN == 0 {
+	if c.Idle() {
 		c.cycle++
 		c.Stats.ArrivalsPerCycle.Observe(0)
 		return nil

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/faults"
+)
+
+// runPair executes the same simulation with the idle fast-forward on and
+// off and returns both results plus how many cycles the fast path
+// skipped.
+func runPair(t *testing.T, kind config.ArchKind, bench string, opts Options) (fast, slow Result, skipped uint64) {
+	t.Helper()
+	cfg := config.New(kind, config.Medium)
+
+	s, err := New(cfg, bench, opts)
+	if err != nil {
+		t.Fatalf("new %v/%s: %v", kind, bench, err)
+	}
+	fast, err = s.Run()
+	if err != nil {
+		t.Fatalf("fast run %v/%s: %v", kind, bench, err)
+	}
+	skipped = s.FastForwardedCycles()
+
+	opts.DisableFastForward = true
+	slow, err = Run(cfg, bench, opts)
+	if err != nil {
+		t.Fatalf("slow run %v/%s: %v", kind, bench, err)
+	}
+	return fast, slow, skipped
+}
+
+// TestFastForwardEquivalence is the fast-forward correctness gate: every
+// Table IV configuration must produce a bit-identical Result — cycles,
+// energy meters, histograms, traces, stall-derived statistics — whether
+// idle cycles are ticked one by one or jumped over.
+func TestFastForwardEquivalence(t *testing.T) {
+	for _, kind := range config.AllArchKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			fast, slow, skipped := runPair(t, kind, "fft", Options{QuotaInstr: 12_000, EpochTrace: true})
+			if !reflect.DeepEqual(fast, slow) {
+				t.Errorf("%v: fast-forward result diverges\nfast: %+v\nslow: %+v", kind, fast, slow)
+			}
+			t.Logf("%v: %d cycles, %d fast-forwarded", kind, fast.Cycles, skipped)
+		})
+	}
+}
+
+// TestFastForwardEquivalenceBenches widens the workload coverage on the
+// consolidating configs, whose epoch machinery interacts most with the
+// cycle jump.
+func TestFastForwardEquivalenceBenches(t *testing.T) {
+	for _, kind := range []config.ArchKind{config.SHSTTCC, config.SHSTTCCOS} {
+		for _, bench := range []string{"radix", "ocean"} {
+			fast, slow, _ := runPair(t, kind, bench, Options{QuotaInstr: 12_000})
+			if !reflect.DeepEqual(fast, slow) {
+				t.Errorf("%v/%s: fast-forward result diverges", kind, bench)
+			}
+		}
+	}
+}
+
+// TestFastForwardEquivalenceWithKills checks that scheduled core-kill
+// faults clamp the cycle jump: kills must land on their exact cycle in
+// both modes.
+func TestFastForwardEquivalenceWithKills(t *testing.T) {
+	cfg := config.New(config.SHSTTCC, config.Medium)
+	opts := Options{
+		QuotaInstr: 12_000,
+		Faults: faults.Params{
+			Seed:  7,
+			Kills: faults.KillFirstN(cfg.NumClusters(), 2, 20_000),
+		},
+	}
+	fast, slow, _ := runPair(t, config.SHSTTCC, "radix", opts)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("kill sweep: fast-forward result diverges\nfast: %+v\nslow: %+v", fast, slow)
+	}
+	if fast.DeadCores == 0 {
+		t.Errorf("kill sweep: no cores died (kills not delivered)")
+	}
+}
+
+// TestFastForwardSkipsSomething guards against the fast path silently
+// never engaging: the shared designs have DRAM-bound stretches and
+// barrier convergence windows where every core of a cluster is blocked.
+func TestFastForwardSkipsSomething(t *testing.T) {
+	skippedAny := false
+	for _, kind := range []config.ArchKind{config.SHSTT, config.PRSRAMNT, config.SHSTTCC} {
+		s, err := New(config.New(kind, config.Medium), "fft", Options{QuotaInstr: 12_000})
+		if err != nil {
+			t.Fatalf("new %v: %v", kind, err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatalf("run %v: %v", kind, err)
+		}
+		t.Logf("%v: fast-forwarded %d cycles", kind, s.FastForwardedCycles())
+		if s.FastForwardedCycles() > 0 {
+			skippedAny = true
+		}
+	}
+	if !skippedAny {
+		t.Errorf("fast-forward never skipped a cycle on any config")
+	}
+}

@@ -48,6 +48,11 @@ type Options struct {
 	// negative SRAMBitFlipPerCell derives the rate from the cache rail
 	// (reliability.CellFailProb at the configuration's CacheVdd).
 	Faults faults.Params
+	// DisableFastForward forces the cycle-exact slow path: every cache
+	// cycle is ticked even when no cluster has runnable work. Results
+	// are bit-identical either way (the equivalence test enforces it);
+	// the flag exists for that test and for debugging.
+	DisableFastForward bool
 }
 
 // DefaultQuota is the default per-thread instruction budget.
@@ -122,7 +127,13 @@ type Sim struct {
 	trace     stats.TimeSeries
 	activeSum stats.Summary
 	epochIdx  []int
+
+	ffSkipped uint64 // cycles fast-forwarded instead of ticked
 }
+
+// FastForwardedCycles reports how many cycles the idle fast-forward
+// skipped instead of ticking (zero with DisableFastForward set).
+func (s *Sim) FastForwardedCycles() uint64 { return s.ffSkipped }
 
 // New builds a simulator for one configuration and benchmark.
 func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
@@ -344,6 +355,25 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 				}
 			}
 		}
+
+		// Idle fast-forward: when no cluster has runnable work, jump to
+		// the earliest cycle anything can happen. Cycle-exact
+		// obligations clamp the jump: pending core-kill faults, OS
+		// consolidation epoch boundaries, and the watchdog (a deadlocked
+		// chip fast-forwards straight into MaxCycles with the same stall
+		// accounting a ticked run would accumulate).
+		if !s.opts.DisableFastForward && !s.allDone() {
+			if wake, ok := s.nextWake(killPending, nextKill.Cycle, osEpochCycles); ok {
+				wake = min(wake, s.opts.MaxCycles)
+				if wake > now+1 {
+					for _, cl := range s.clus {
+						cl.SkipTo(wake)
+					}
+					s.ffSkipped += wake - (now + 1)
+					now = wake - 1 // the loop increment lands on wake
+				}
+			}
+		}
 	}
 	if now >= s.opts.MaxCycles {
 		derr := &DeadlockError{
@@ -360,6 +390,42 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 	return s.collect(now), nil
 }
 
+// allDone reports whether every cluster has finished; the run loop is
+// about to break (on its next iteration's pre-tick check), so the fast
+// forward must not jump a completed chip into the watchdog.
+func (s *Sim) allDone() bool {
+	for _, cl := range s.clus {
+		if !cl.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// nextWake returns the next cycle at which any cluster- or chip-level
+// activity can occur, or ok=false when some cluster has runnable work
+// right now. All clusters have already ticked the current cycle, so the
+// candidate wake cycles start at now+1.
+func (s *Sim) nextWake(killPending bool, nextKill uint64, osEpochCycles uint64) (uint64, bool) {
+	wake := uint64(cluster.NeverWake)
+	for i, cl := range s.clus {
+		w, ok := cl.NextWake()
+		if !ok {
+			return 0, false
+		}
+		wake = min(wake, w)
+		if s.cfg.Consolidation == config.OSConsolidation {
+			// OS epochs end on a wall-clock cycle count regardless of
+			// activity; the boundary must be hit exactly.
+			wake = min(wake, s.lastOS[i]+osEpochCycles)
+		}
+	}
+	if killPending {
+		wake = min(wake, nextKill)
+	}
+	return wake, true
+}
+
 // endEpoch closes cluster i's consolidation epoch at the given cycle.
 func (s *Sim) endEpoch(i int, now uint64) {
 	cl := s.clus[i]
@@ -369,7 +435,7 @@ func (s *Sim) endEpoch(i int, now uint64) {
 	cacheShare := s.chip.CacheLeakW / float64(len(s.clus))
 	energy := delta.TotalPJ() + cacheShare*float64(dtPS)
 	m := consolidation.Measurement{
-		EPI:          energy / float64(max64(cl.EpochInstructions(), 1)),
+		EPI:          energy / float64(max(cl.EpochInstructions(), 1)),
 		Utilization:  cl.EpochUtilization(),
 		Instructions: cl.EpochInstructions(),
 		TimePS:       dtPS,
@@ -393,13 +459,6 @@ func (s *Sim) endEpoch(i int, now uint64) {
 	if s.epochIdx[i] > 3 {
 		s.activeSum.Observe(float64(cl.ActiveCores()))
 	}
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // collect assembles the final Result.

@@ -72,6 +72,26 @@ func (h *Histogram) Observe(v int) {
 	h.buckets[v]++
 }
 
+// ObserveN records n observations of value v at once, exactly as if
+// Observe(v) had been called n times. The batch form exists for the
+// simulator's idle-cycle fast-forward, which must account millions of
+// identical zero-arrival observations without looping.
+func (h *Histogram) ObserveN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.total += n
+	h.sum += uint64(v) * n
+	if v >= len(h.buckets) {
+		h.overflow += n
+		return
+	}
+	h.buckets[v] += n
+}
+
 // Total returns the number of observations recorded.
 func (h *Histogram) Total() uint64 { return h.total }
 
