@@ -6,7 +6,8 @@
 //
 //	respin-bench [-quick] [-quota N] [-trace-quota N] [-benches a,b,c]
 //	             [-only fig9] [-seed N] [-fault-seed N] [-jobs N]
-//	             [-cpuprofile f] [-memprofile f] [-o out.txt] [-q]
+//	             [-cpuprofile f] [-memprofile f] [-metrics f] [-events f]
+//	             [-o out.txt] [-q]
 //
 // The full run simulates hundreds of configurations; -jobs spreads them
 // over a worker pool (default: all cores), and -quick runs a
@@ -22,41 +23,32 @@ import (
 	"os/signal"
 	"strings"
 
+	"respin/internal/cli"
 	"respin/internal/experiments"
-	"respin/internal/prof"
 )
 
-// main delegates to run so deferred cleanup (profile flushing) survives
-// the explicit exit code.
+// main delegates to run so deferred cleanup (profile flushing, telemetry
+// outputs) survives the explicit exit code.
 func main() { os.Exit(run()) }
 
 func run() int {
+	var c cli.Common
+	c.Register(flag.CommandLine, cli.Defaults{Quota: 0, Seed: 0})
 	quick := flag.Bool("quick", false, "reduced benchmark set and quotas")
-	quota := flag.Uint64("quota", 0, "override per-thread instruction budget")
 	traceQuota := flag.Uint64("trace-quota", 0, "override consolidation-trace budget")
 	benches := flag.String("benches", "", "comma-separated benchmark subset")
 	only := flag.String("only", "", "run a single experiment: fig1,fig2,tab1,tab3,tab4,vmin,area,variation,workloads,fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14,faults")
-	seed := flag.Int64("seed", 0, "override randomness seed")
-	faultSeed := flag.Int64("fault-seed", 0, "override fault-injection seed (faults experiment)")
-	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = all cores, 1 = serial)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	out := flag.String("o", "", "also write the report to this file")
 	jsonOut := flag.String("json", "", "write the comparison summary as JSON to this file")
-	quiet := flag.Bool("q", false, "suppress per-run progress")
 	flag.Parse()
 
-	stopCPU, err := prof.StartCPU(*cpuprofile)
+	cleanup, err := c.Start()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
-		return 1
+		return fail(err)
 	}
 	defer func() {
-		if err := stopCPU(); err != nil {
-			fmt.Fprintf(os.Stderr, "respin-bench: cpu profile: %v\n", err)
-		}
-		if err := prof.WriteHeap(*memprofile); err != nil {
-			fmt.Fprintf(os.Stderr, "respin-bench: heap profile: %v\n", err)
+		if err := cleanup(); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
 		}
 	}()
 
@@ -64,24 +56,14 @@ func run() int {
 	if *quick {
 		r = experiments.QuickRunner()
 	}
-	if *quota != 0 {
-		r.Quota = *quota
-	}
 	if *traceQuota != 0 {
 		r.TraceQuota = *traceQuota
 	}
 	if *benches != "" {
 		r.Benches = strings.Split(*benches, ",")
 	}
-	if *seed != 0 {
-		r.Seed = *seed
-	}
-	if *faultSeed != 0 {
-		r.FaultSeed = *faultSeed
-	}
-	r.Jobs = *jobs
-	if !*quiet {
-		r.Progress = os.Stderr
+	if err := c.Apply(nil, r); err != nil {
+		return fail(err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -104,8 +86,7 @@ func run() int {
 				err = os.WriteFile(*jsonOut, data, 0o644)
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
-				return 1
+				return fail(err)
 			}
 		}
 	}
@@ -113,8 +94,7 @@ func run() int {
 	fmt.Print(text)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
-			return 1
+			return fail(err)
 		}
 	}
 	if r.Aborted() {
@@ -122,6 +102,11 @@ func run() int {
 		return 130
 	}
 	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
+	return 1
 }
 
 // runOne dispatches a single experiment by id.

@@ -7,6 +7,7 @@
 //	respin-sim [-config SH-STT] [-bench fft] [-scale medium]
 //	           [-cluster 16] [-quota 150000] [-seed 1] [-trace]
 //	           [-jobs N] [-cpuprofile f] [-memprofile f]
+//	           [-metrics f] [-events f]
 //	           [-fault-seed 1] [-stt-write-fail P] [-sram-bitflip P]
 //	           [-ecc SECDED] [-kill-cores N] [-kill-cycle C]
 //
@@ -21,42 +22,29 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime"
-	"strings"
 
+	"respin/internal/cli"
 	"respin/internal/config"
-	"respin/internal/faults"
 	"respin/internal/power"
-	"respin/internal/prof"
 	"respin/internal/report"
 	"respin/internal/sim"
 	"respin/internal/trace"
 	"respin/internal/variation"
 )
 
-// main delegates to run so deferred cleanup (profile flushing) survives
-// the explicit exit code.
+// main delegates to run so deferred cleanup (profile flushing, telemetry
+// outputs) survives the explicit exit code.
 func main() { os.Exit(run()) }
 
 func run() int {
-	cfgName := flag.String("config", "SH-STT", "Table IV configuration name")
-	bench := flag.String("bench", "fft", "benchmark name (see -list)")
-	scaleName := flag.String("scale", "medium", "cache scale: small, medium, large")
-	cluster := flag.Int("cluster", 16, "cores per cluster (4, 8, 16, 32)")
-	quota := flag.Uint64("quota", sim.DefaultQuota, "per-thread instruction budget")
-	seed := flag.Int64("seed", 1, "randomness seed")
+	t := cli.Target{ConfigName: "SH-STT", BenchName: "fft", ScaleName: "medium", Cluster: 16}
+	t.Register(flag.CommandLine, cli.TAll)
+	var c cli.Common
+	c.Register(flag.CommandLine, cli.Defaults{Quota: sim.DefaultQuota, Seed: 1})
 	epochTrace := flag.Bool("trace", false, "print the consolidation trace")
 	dieMap := flag.Bool("diemap", false, "print the variation die map before running")
 	list := flag.Bool("list", false, "list configurations and benchmarks")
-	jobs := flag.Int("jobs", 0, "cap scheduler parallelism (0 = all cores); one sim uses one core")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	faultFlags := faults.Bind()
 	flag.Parse()
-
-	if *jobs > 0 {
-		runtime.GOMAXPROCS(*jobs)
-	}
 
 	if *list {
 		fmt.Println("configurations:")
@@ -70,112 +58,87 @@ func run() int {
 		return 0
 	}
 
-	kind, err := kindByName(*cfgName)
+	cfg, err := t.Config()
 	if err != nil {
 		return fail(err)
 	}
-	scale, err := scaleByName(*scaleName)
-	if err != nil {
-		return fail(err)
-	}
-
-	cfg := config.NewWithCluster(kind, scale, *cluster)
 	if *dieMap {
 		vm := variation.Generate(cfg.VariationSeed, 8, 8, cfg.CoreVdd, variation.DefaultParams())
 		fmt.Println("variation die map (core clock multiples; ---- = cluster boundary):")
 		fmt.Print(vm.DieMap(cfg.ClusterSize))
 		fmt.Println()
 	}
-	fp, err := faultFlags.Params(cfg.NumClusters())
+	fp, err := c.FaultParams(cfg.NumClusters())
 	if err != nil {
 		return fail(err)
 	}
 
-	stopCPU, err := prof.StartCPU(*cpuprofile)
+	cleanup, err := c.Start()
 	if err != nil {
 		return fail(err)
 	}
 	defer func() {
-		if err := stopCPU(); err != nil {
-			fmt.Fprintf(os.Stderr, "respin-sim: cpu profile: %v\n", err)
-		}
-		if err := prof.WriteHeap(*memprofile); err != nil {
-			fmt.Fprintf(os.Stderr, "respin-sim: heap profile: %v\n", err)
+		if err := cleanup(); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-sim: %v\n", err)
 		}
 	}()
 
+	var opts sim.Options
+	if err := c.Apply(&opts, nil); err != nil {
+		return fail(err)
+	}
+	opts.EpochTrace = *epochTrace
+	opts.Faults = fp
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := sim.RunContext(ctx, cfg, *bench, sim.Options{
-		QuotaInstr: *quota, Seed: *seed, EpochTrace: *epochTrace, Faults: fp,
-	})
+	res, err := sim.RunContext(ctx, cfg, t.BenchName, opts)
 	partial := err != nil && errors.Is(err, context.Canceled)
 	if err != nil && !partial {
 		return fail(err)
 	}
 
 	fmt.Printf("%v on %s (%v cache, %d-core clusters, %d instr/thread)\n\n",
-		kind, *bench, scale, *cluster, *quota)
+		cfg.Kind, t.BenchName, cfg.Scale, cfg.ClusterSize, opts.QuotaInstr)
 	if partial {
 		fmt.Printf("INTERRUPTED at cycle %d — statistics below are partial\n\n", res.Cycles)
 	}
-	t := report.NewTable("", "metric", "value")
-	t.AddRow("execution time", report.Millis(res.TimePS))
-	t.AddRow("cache cycles", fmt.Sprintf("%d", res.Cycles))
-	t.AddRow("instructions", fmt.Sprintf("%d", res.Instructions))
-	t.AddRow("chip IPC (per cache cycle)", fmt.Sprintf("%.2f", res.IPC()))
-	t.AddRow("energy", report.Joules(res.EnergyPJ))
-	t.AddRow("average power", report.Watts(res.AvgPowerW))
-	t.AddRow("  core dynamic", report.Joules(res.Energy.PJ(power.CoreDynamic)))
-	t.AddRow("  core leakage", report.Joules(res.Energy.PJ(power.CoreLeakage)))
-	t.AddRow("  cache dynamic", report.Joules(res.Energy.PJ(power.CacheDynamic)))
-	t.AddRow("  cache leakage", report.Joules(res.Energy.PJ(power.CacheLeakage)))
-	t.AddRow("  level shifters", report.Joules(res.Energy.PJ(power.Shifter)))
-	t.AddRow("L1D miss rate", report.PctU(res.L1DMissRate))
+	tbl := report.NewTable("", "metric", "value")
+	tbl.AddRow("execution time", report.Millis(res.TimePS))
+	tbl.AddRow("cache cycles", fmt.Sprintf("%d", res.Cycles))
+	tbl.AddRow("instructions", fmt.Sprintf("%d", res.Instructions))
+	tbl.AddRow("chip IPC (per cache cycle)", fmt.Sprintf("%.2f", res.IPC()))
+	tbl.AddRow("energy", report.Joules(res.EnergyPJ))
+	tbl.AddRow("average power", report.Watts(res.AvgPowerW))
+	tbl.AddRow("  core dynamic", report.Joules(res.Energy.PJ(power.CoreDynamic)))
+	tbl.AddRow("  core leakage", report.Joules(res.Energy.PJ(power.CoreLeakage)))
+	tbl.AddRow("  cache dynamic", report.Joules(res.Energy.PJ(power.CacheDynamic)))
+	tbl.AddRow("  cache leakage", report.Joules(res.Energy.PJ(power.CacheLeakage)))
+	tbl.AddRow("  level shifters", report.Joules(res.Energy.PJ(power.Shifter)))
+	tbl.AddRow("L1D miss rate", report.PctU(res.L1DMissRate))
 	if res.ArrivalsPerCycle.Total() > 0 {
-		t.AddRow("half-miss rate", report.PctU(res.HalfMissRate))
-		t.AddRow("1-core-cycle reads", report.PctU(res.ReadCoreCycles.Fraction(1)))
+		tbl.AddRow("half-miss rate", report.PctU(res.HalfMissRate))
+		tbl.AddRow("1-core-cycle reads", report.PctU(res.ReadCoreCycles.Fraction(1)))
 	}
 	if res.ActiveCores.N() > 0 {
-		t.AddRow("active cores (mean/min/max)", fmt.Sprintf("%.1f / %.0f / %.0f",
+		tbl.AddRow("active cores (mean/min/max)", fmt.Sprintf("%.1f / %.0f / %.0f",
 			res.ActiveCores.Mean(), res.ActiveCores.Min(), res.ActiveCores.Max()))
-		t.AddRow("migrations", fmt.Sprintf("%d", res.Stats.Migrations))
+		tbl.AddRow("migrations", fmt.Sprintf("%d", res.Stats.Migrations))
 	}
 	if res.Faults.Any() || res.DeadCores > 0 {
-		t.AddRow("STT write retries / aborts", fmt.Sprintf("%d / %d",
+		tbl.AddRow("STT write retries / aborts", fmt.Sprintf("%d / %d",
 			res.Faults.STTWriteRetries, res.Faults.STTWriteAborts))
-		t.AddRow("SRAM flips corrected / uncorrectable", fmt.Sprintf("%d / %d",
+		tbl.AddRow("SRAM flips corrected / uncorrectable", fmt.Sprintf("%d / %d",
 			res.Faults.SRAMCorrected, res.Faults.SRAMUncorrectable))
-		t.AddRow("cores killed", fmt.Sprintf("%d", res.DeadCores))
+		tbl.AddRow("cores killed", fmt.Sprintf("%d", res.DeadCores))
 	}
-	fmt.Print(t.String())
+	fmt.Print(tbl.String())
 
 	if *epochTrace && res.Trace.Len() > 0 {
 		fmt.Println()
 		fmt.Print(report.Trace("consolidation trace (active cores, cluster 0):", &res.Trace, 16, 32, 32))
 	}
 	return 0
-}
-
-func kindByName(name string) (config.ArchKind, error) {
-	for _, k := range config.AllArchKinds {
-		if strings.EqualFold(k.String(), name) {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown configuration %q (try -list)", name)
-}
-
-func scaleByName(name string) (config.CacheScale, error) {
-	switch strings.ToLower(name) {
-	case "small":
-		return config.Small, nil
-	case "medium":
-		return config.Medium, nil
-	case "large":
-		return config.Large, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", name)
 }
 
 func fail(err error) int {

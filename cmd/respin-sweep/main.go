@@ -7,9 +7,12 @@
 //
 //	respin-sweep -sweep cluster|epoch|scale [-bench fft] [-jobs N]
 //	             [-quota N] [-seed N] [-fault-seed N] [-stt-write-fail P]
+//	             [-cpuprofile f] [-memprofile f] [-metrics f] [-events f]
 //
 // Sweep points are independent simulations, so they run on a worker
 // pool (-jobs wide, default all cores) and are rendered in sweep order.
+// With -metrics/-events each point's telemetry lands under a distinct
+// "point.<index>.<description>" prefix.
 package main
 
 import (
@@ -19,47 +22,76 @@ import (
 	"runtime"
 	"sync"
 
+	"respin/internal/cli"
 	"respin/internal/config"
-	"respin/internal/faults"
 	"respin/internal/report"
 	"respin/internal/sim"
+	"respin/internal/telemetry"
 )
 
-func main() {
+// main delegates to run so deferred cleanup (profile flushing, telemetry
+// outputs) survives the explicit exit code.
+func main() { os.Exit(run()) }
+
+func run() int {
+	t := cli.Target{BenchName: "fft"}
+	t.Register(flag.CommandLine, cli.TBench)
+	var c cli.Common
+	c.Register(flag.CommandLine, cli.Defaults{Quota: 100_000, Seed: 1})
 	sweep := flag.String("sweep", "cluster", "sweep to run: cluster, epoch, scale")
-	bench := flag.String("bench", "fft", "benchmark")
-	quota := flag.Uint64("quota", 100_000, "per-thread instruction budget")
-	seed := flag.Int64("seed", 1, "randomness seed")
-	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = all cores)")
-	faultFlags := faults.Bind()
 	flag.Parse()
 
 	// Sweeps span cluster sizes, so resolve kills against the smallest
 	// cluster count any sweep point uses (medium scale, 64 cores).
-	fp, err := faultFlags.Params(config.New(config.SHSTT, config.Medium).NumClusters())
+	fp, err := c.FaultParams(config.New(config.SHSTT, config.Medium).NumClusters())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "respin-sweep: %v\n", err)
-		os.Exit(2)
+		return fail(err)
 	}
-	opts := sim.Options{QuotaInstr: *quota, Seed: *seed, Faults: fp}
+
+	cleanup, err := c.Start()
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := cleanup(); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-sweep: %v\n", err)
+		}
+	}()
+
+	var opts sim.Options
+	if err := c.Apply(&opts, nil); err != nil {
+		return fail(err)
+	}
+	opts.Faults = fp
+
+	s := &sweeper{opts: opts, jobs: c.Jobs, tele: c.Collector()}
 	switch *sweep {
 	case "cluster":
-		sweepCluster(*bench, opts, *jobs)
+		s.cluster(t.BenchName)
 	case "epoch":
-		sweepEpoch(*bench, opts, *jobs)
+		s.epoch(t.BenchName)
 	case "scale":
-		sweepScale(*bench, opts, *jobs)
+		s.scale(t.BenchName)
 	default:
 		fmt.Fprintf(os.Stderr, "respin-sweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+// sweeper carries the per-invocation state shared by all sweep points.
+type sweeper struct {
+	opts sim.Options
+	jobs int
+	tele *telemetry.Collector
 }
 
 // runAll executes fn(0..n-1) with at most jobs concurrent workers and
 // returns once every call finished. Callers fill an indexed slice from
 // fn, so sweep output stays in sweep order regardless of completion
 // order.
-func runAll(jobs, n int, fn func(i int)) {
+func (s *sweeper) runAll(n int, fn func(i int)) {
+	jobs := s.jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -77,16 +109,32 @@ func runAll(jobs, n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// sweepCluster reproduces the Section V.D cluster-size study for one
+// mustRun executes one sweep point. Each point registers into its own
+// child collector (prefix "point.<i>.<label>"), so concurrent points
+// never collide on metric names.
+func (s *sweeper) mustRun(i int, label string, cfg config.Config, bench string) sim.Result {
+	opts := s.opts
+	opts.Telemetry = s.tele.Child(fmt.Sprintf("point.%d.%s", i, label))
+	res, err := sim.Run(cfg, bench, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "respin-sweep: %v\n", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+// cluster reproduces the Section V.D cluster-size study for one
 // benchmark.
-func sweepCluster(bench string, opts sim.Options, jobs int) {
+func (s *sweeper) cluster(bench string) {
 	sizes := []int{4, 8, 16, 32}
 	cfgs := []config.Config{config.New(config.PRSRAMNT, config.Medium)}
+	labels := []string{"PR-SRAM-NT"}
 	for _, cs := range sizes {
 		cfgs = append(cfgs, config.NewWithCluster(config.SHSTT, config.Medium, cs))
+		labels = append(labels, fmt.Sprintf("SH-STT.cl%d", cs))
 	}
 	results := make([]sim.Result, len(cfgs))
-	runAll(jobs, len(cfgs), func(i int) { results[i] = mustRun(cfgs[i], bench, opts) })
+	s.runAll(len(cfgs), func(i int) { results[i] = s.mustRun(i, labels[i], cfgs[i], bench) })
 
 	base := results[0]
 	t := report.NewTable(fmt.Sprintf("cluster-size sweep, %s", bench),
@@ -101,18 +149,20 @@ func sweepCluster(bench string, opts sim.Options, jobs int) {
 	fmt.Print(t.String())
 }
 
-// sweepEpoch varies the consolidation epoch around the paper's 160K
+// epoch varies the consolidation epoch around the paper's 160K
 // instructions.
-func sweepEpoch(bench string, opts sim.Options, jobs int) {
+func (s *sweeper) epoch(bench string) {
 	epochs := []uint64{40_000, 80_000, 160_000, 320_000, 640_000}
 	cfgs := []config.Config{config.New(config.SHSTT, config.Medium)}
+	labels := []string{"SH-STT"}
 	for _, epoch := range epochs {
 		cfg := config.New(config.SHSTTCC, config.Medium)
 		cfg.ConsolidationParams.EpochInstructions = epoch
 		cfgs = append(cfgs, cfg)
+		labels = append(labels, fmt.Sprintf("SH-STT-CC.ep%d", epoch))
 	}
 	results := make([]sim.Result, len(cfgs))
-	runAll(jobs, len(cfgs), func(i int) { results[i] = mustRun(cfgs[i], bench, opts) })
+	s.runAll(len(cfgs), func(i int) { results[i] = s.mustRun(i, labels[i], cfgs[i], bench) })
 
 	base := results[0]
 	t := report.NewTable(fmt.Sprintf("consolidation epoch sweep, %s (energy vs SH-STT)", bench),
@@ -128,16 +178,18 @@ func sweepEpoch(bench string, opts sim.Options, jobs int) {
 	fmt.Print(t.String())
 }
 
-// sweepScale compares the three Table I cache scales for one benchmark.
-func sweepScale(bench string, opts sim.Options, jobs int) {
+// scale compares the three Table I cache scales for one benchmark.
+func (s *sweeper) scale(bench string) {
 	var cfgs []config.Config
+	var labels []string
 	for _, scale := range []config.CacheScale{config.Small, config.Medium, config.Large} {
 		for _, kind := range []config.ArchKind{config.PRSRAMNT, config.SHSTT} {
 			cfgs = append(cfgs, config.New(kind, scale))
+			labels = append(labels, fmt.Sprintf("%v.%v", kind, scale))
 		}
 	}
 	results := make([]sim.Result, len(cfgs))
-	runAll(jobs, len(cfgs), func(i int) { results[i] = mustRun(cfgs[i], bench, opts) })
+	s.runAll(len(cfgs), func(i int) { results[i] = s.mustRun(i, labels[i], cfgs[i], bench) })
 
 	t := report.NewTable(fmt.Sprintf("cache-scale sweep, %s", bench),
 		"scale", "config", "time", "power", "energy")
@@ -150,11 +202,7 @@ func sweepScale(bench string, opts sim.Options, jobs int) {
 	fmt.Print(t.String())
 }
 
-func mustRun(cfg config.Config, bench string, opts sim.Options) sim.Result {
-	res, err := sim.Run(cfg, bench, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "respin-sweep: %v\n", err)
-		os.Exit(1)
-	}
-	return res
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "respin-sweep: %v\n", err)
+	return 1
 }

@@ -14,95 +14,97 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
-	"strings"
 
-	"respin/internal/config"
-	"respin/internal/faults"
+	"respin/internal/cli"
 	"respin/internal/sim"
 )
 
-func main() {
-	cfgName := flag.String("config", "SH-STT-CC", "Table IV configuration name")
-	bench := flag.String("bench", "radix", "benchmark name")
-	quota := flag.Uint64("quota", 400_000, "per-thread instruction budget")
-	seed := flag.Int64("seed", 1, "randomness seed")
+// main delegates to run so deferred cleanup (profile flushing, telemetry
+// outputs) survives the explicit exit code.
+func main() { os.Exit(run()) }
+
+func run() int {
+	t := cli.Target{ConfigName: "SH-STT-CC", BenchName: "radix"}
+	t.Register(flag.CommandLine, cli.TConfig|cli.TBench)
+	var c cli.Common
+	c.Register(flag.CommandLine, cli.Defaults{Quota: 400_000, Seed: 1})
 	what := flag.String("what", "trace", "output: trace, histograms")
-	jobs := flag.Int("jobs", 0, "cap scheduler parallelism (0 = all cores); one sim uses one core")
-	faultFlags := faults.Bind()
 	flag.Parse()
 
-	if *jobs > 0 {
-		runtime.GOMAXPROCS(*jobs)
+	cfg, err := t.Config()
+	if err != nil {
+		return fail(err)
+	}
+	fp, err := c.FaultParams(cfg.NumClusters())
+	if err != nil {
+		return fail(err)
 	}
 
-	kind, err := kindByName(*cfgName)
+	cleanup, err := c.Start()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	cfg := config.New(kind, config.Medium)
-	fp, err := faultFlags.Params(cfg.NumClusters())
-	if err != nil {
-		fatal(err)
+	defer func() {
+		if err := cleanup(); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-trace: %v\n", err)
+		}
+	}()
+
+	var opts sim.Options
+	if err := c.Apply(&opts, nil); err != nil {
+		return fail(err)
 	}
-	res, err := sim.Run(cfg, *bench, sim.Options{
-		QuotaInstr: *quota, Seed: *seed, EpochTrace: true, Faults: fp,
-	})
+	opts.EpochTrace = true
+	opts.Faults = fp
+
+	res, err := sim.Run(cfg, t.BenchName, opts)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
+	write := func(record []string) {
+		if err := w.Write(record); err != nil {
+			fmt.Fprintf(os.Stderr, "respin-trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	switch *what {
 	case "trace":
-		must(w.Write([]string{"time_us", "active_cores"}))
+		write([]string{"time_us", "active_cores"})
 		for i := range res.Trace.Values {
-			must(w.Write([]string{
+			write([]string{
 				strconv.FormatFloat(res.Trace.Times[i], 'f', 3, 64),
 				strconv.FormatFloat(res.Trace.Values[i], 'f', 0, 64),
-			}))
+			})
 		}
 	case "histograms":
-		must(w.Write([]string{"histogram", "bucket", "fraction"}))
+		write([]string{"histogram", "bucket", "fraction"})
 		for i := 0; i <= 4; i++ {
 			label := strconv.Itoa(i)
 			if i == 4 {
 				label = "4+"
 			}
-			must(w.Write([]string{"arrivals_per_cycle", label,
-				strconv.FormatFloat(res.ArrivalsPerCycle.Fraction(i), 'f', 6, 64)}))
+			write([]string{"arrivals_per_cycle", label,
+				strconv.FormatFloat(res.ArrivalsPerCycle.Fraction(i), 'f', 6, 64)})
 		}
 		for i := 1; i <= 3; i++ {
 			label := strconv.Itoa(i)
 			if i == 3 {
 				label = "3+"
 			}
-			must(w.Write([]string{"read_core_cycles", label,
-				strconv.FormatFloat(res.ReadCoreCycles.Fraction(i), 'f', 6, 64)}))
+			write([]string{"read_core_cycles", label,
+				strconv.FormatFloat(res.ReadCoreCycles.Fraction(i), 'f', 6, 64)})
 		}
 	default:
-		fatal(fmt.Errorf("unknown -what %q", *what))
+		return fail(fmt.Errorf("unknown -what %q", *what))
 	}
+	return 0
 }
 
-func kindByName(name string) (config.ArchKind, error) {
-	for _, k := range config.AllArchKinds {
-		if strings.EqualFold(k.String(), name) {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown configuration %q", name)
-}
-
-func must(err error) {
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "respin-trace: %v\n", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,242 @@
+// Package cli is the shared command-line surface of the respin tools.
+// Every flag that more than one of cmd/respin-{sim,bench,sweep,trace}
+// needs — seeds, quotas, parallelism, profiling, fault injection, and
+// the telemetry outputs — is declared exactly once here, so the four
+// mains register a Common (and usually a Target), parse, and apply.
+//
+// The lifecycle is:
+//
+//	c := cli.Common{}
+//	c.Register(flag.CommandLine, cli.Defaults{Quota: ..., Seed: 1})
+//	flag.Parse()
+//	cleanup, err := c.Start()        // profiling + telemetry outputs
+//	defer cleanup()
+//	err = c.Apply(&opts, nil)        // or c.Apply(nil, runner)
+package cli
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"respin/internal/config"
+	"respin/internal/experiments"
+	"respin/internal/faults"
+	"respin/internal/prof"
+	"respin/internal/sim"
+	"respin/internal/telemetry"
+)
+
+// Defaults parameterizes the per-tool defaults of the shared flags.
+type Defaults struct {
+	// Quota is the default -quota value.
+	Quota uint64
+	// Seed is the default -seed value; zero selects 1.
+	Seed int64
+}
+
+// Common holds the flag values shared by all four respin commands.
+type Common struct {
+	Seed       int64
+	Jobs       int
+	Quota      uint64
+	Quiet      bool
+	CPUProfile string
+	MemProfile string
+	// Metrics and Events are the telemetry output paths; empty disables
+	// the respective output, and leaving both empty keeps the collector
+	// nil (zero overhead, bit-identical results).
+	Metrics string
+	Events  string
+	// Faults is the fault-injection flag group (always registered).
+	Faults *faults.Flags
+
+	collector  *telemetry.Collector
+	eventsFile *os.File
+}
+
+// Register declares the shared flags on fs. Call before fs.Parse.
+func (c *Common) Register(fs *flag.FlagSet, d Defaults) {
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+	fs.Int64Var(&c.Seed, "seed", d.Seed, "randomness seed")
+	fs.IntVar(&c.Jobs, "jobs", 0, "cap parallelism (0 = all cores)")
+	fs.Uint64Var(&c.Quota, "quota", d.Quota, "per-thread instruction budget")
+	fs.BoolVar(&c.Quiet, "q", false, "suppress progress output")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&c.Metrics, "metrics", "", "write the final telemetry metric snapshot (JSON) to this file")
+	fs.StringVar(&c.Events, "events", "", "stream telemetry events (JSONL) to this file")
+	c.Faults = faults.BindTo(fs)
+}
+
+// Start begins CPU profiling and opens the telemetry outputs. It
+// returns a cleanup function that stops the profile, writes the heap
+// profile and the metric snapshot, and closes the event stream; call it
+// exactly once (normally deferred) and report its error.
+func (c *Common) Start() (cleanup func() error, err error) {
+	stopCPU, err := prof.StartCPU(c.CPUProfile)
+	if err != nil {
+		return nil, err
+	}
+	if c.Metrics != "" || c.Events != "" {
+		opts := []telemetry.Option{}
+		if c.Events != "" {
+			f, err := os.Create(c.Events)
+			if err != nil {
+				stopCPU()
+				return nil, err
+			}
+			c.eventsFile = f
+			opts = append(opts, telemetry.WithEvents(f))
+		}
+		c.collector = telemetry.New(opts...)
+	}
+	return func() error {
+		errs := []error{stopCPU(), prof.WriteHeap(c.MemProfile)}
+		if c.Metrics != "" {
+			data, err := json.MarshalIndent(c.collector.Snapshot(), "", "  ")
+			if err == nil {
+				err = os.WriteFile(c.Metrics, append(data, '\n'), 0o644)
+			}
+			errs = append(errs, err)
+		}
+		if c.collector.Enabled() {
+			errs = append(errs, c.collector.Emitter().Err())
+		}
+		if c.eventsFile != nil {
+			errs = append(errs, c.eventsFile.Close())
+		}
+		return errors.Join(errs...)
+	}, nil
+}
+
+// Collector returns the telemetry collector built by Start (nil when
+// neither -metrics nor -events was given).
+func (c *Common) Collector() *telemetry.Collector { return c.collector }
+
+// Apply transfers the parsed flag values onto a simulation Options
+// and/or an experiments Runner (either may be nil) and normalizes the
+// receiver it filled in. Call after Start so the telemetry collector
+// exists.
+func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
+	if opts != nil {
+		opts.QuotaInstr = c.Quota
+		opts.Seed = c.Seed
+		opts.Telemetry = c.collector
+		if c.Jobs > 0 {
+			runtime.GOMAXPROCS(c.Jobs)
+		}
+		if err := opts.Normalize(); err != nil {
+			return err
+		}
+	}
+	if r != nil {
+		if c.Quota != 0 {
+			r.Quota = c.Quota
+		}
+		if c.Seed != 0 {
+			r.Seed = c.Seed
+		}
+		r.FaultSeed = c.Faults.Seed
+		r.Jobs = c.Jobs
+		if !c.Quiet {
+			r.Progress = os.Stderr
+		}
+		r.Telemetry = c.collector
+		if err := r.Normalize(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultParams resolves the fault-injection flags for a chip with the
+// given cluster count.
+func (c *Common) FaultParams(numClusters int) (faults.Params, error) {
+	return c.Faults.Params(numClusters)
+}
+
+// TargetFlags selects which of the target-selection flags a tool
+// registers.
+type TargetFlags int
+
+const (
+	TConfig TargetFlags = 1 << iota
+	TBench
+	TScale
+	TCluster
+	// TAll registers the full -config/-bench/-scale/-cluster set.
+	TAll = TConfig | TBench | TScale | TCluster
+)
+
+// Target selects what to simulate: Table IV configuration, benchmark,
+// cache scale, and cluster size. Zero-valued fields fall back to the
+// simulator defaults (medium scale, standard cluster size).
+type Target struct {
+	ConfigName string
+	BenchName  string
+	ScaleName  string
+	Cluster    int
+}
+
+// Register declares the selected target flags on fs, using the Target's
+// current field values as defaults.
+func (t *Target) Register(fs *flag.FlagSet, which TargetFlags) {
+	if which&TConfig != 0 {
+		fs.StringVar(&t.ConfigName, "config", t.ConfigName, "Table IV configuration name")
+	}
+	if which&TBench != 0 {
+		fs.StringVar(&t.BenchName, "bench", t.BenchName, "benchmark name")
+	}
+	if which&TScale != 0 {
+		fs.StringVar(&t.ScaleName, "scale", t.ScaleName, "cache scale: small, medium, large")
+	}
+	if which&TCluster != 0 {
+		fs.IntVar(&t.Cluster, "cluster", t.Cluster, "cores per cluster (4, 8, 16, 32)")
+	}
+}
+
+// Kind resolves -config against the Table IV mnemonics.
+func (t *Target) Kind() (config.ArchKind, error) {
+	for _, k := range config.AllArchKinds {
+		if strings.EqualFold(k.String(), t.ConfigName) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown configuration %q (try -list)", t.ConfigName)
+}
+
+// Scale resolves -scale; an empty name selects medium.
+func (t *Target) Scale() (config.CacheScale, error) {
+	switch strings.ToLower(t.ScaleName) {
+	case "", "medium":
+		return config.Medium, nil
+	case "small":
+		return config.Small, nil
+	case "large":
+		return config.Large, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", t.ScaleName)
+}
+
+// Config resolves the full target into a chip configuration.
+func (t *Target) Config() (config.Config, error) {
+	kind, err := t.Kind()
+	if err != nil {
+		return config.Config{}, err
+	}
+	scale, err := t.Scale()
+	if err != nil {
+		return config.Config{}, err
+	}
+	if t.Cluster == 0 {
+		return config.New(kind, scale), nil
+	}
+	return config.NewWithCluster(kind, scale, t.Cluster), nil
+}

@@ -1,0 +1,224 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/experiments"
+	"respin/internal/sim"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := newFlagSet()
+	var c Common
+	c.Register(fs, Defaults{Quota: 123})
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Quota != 123 || c.Seed != 1 {
+		t.Fatalf("defaults: quota=%d seed=%d", c.Quota, c.Seed)
+	}
+	if c.Faults == nil || c.Faults.Seed != 1 || c.Faults.ECCName != "SECDED" {
+		t.Fatalf("fault flags not registered: %+v", c.Faults)
+	}
+}
+
+func TestRegisterParsesSharedFlags(t *testing.T) {
+	fs := newFlagSet()
+	var c Common
+	c.Register(fs, Defaults{Quota: 100})
+	args := []string{
+		"-seed", "7", "-jobs", "2", "-quota", "555", "-q",
+		"-cpuprofile", "cpu.out", "-memprofile", "mem.out",
+		"-metrics", "m.json", "-events", "e.jsonl",
+		"-stt-write-fail", "0.001", "-kill-cores", "2",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 7 || c.Jobs != 2 || c.Quota != 555 || !c.Quiet {
+		t.Fatalf("parsed common = %+v", c)
+	}
+	if c.CPUProfile != "cpu.out" || c.MemProfile != "mem.out" ||
+		c.Metrics != "m.json" || c.Events != "e.jsonl" {
+		t.Fatalf("parsed outputs = %+v", c)
+	}
+	if c.Faults.STTWriteFail != 0.001 || c.Faults.KillCores != 2 {
+		t.Fatalf("parsed fault flags = %+v", c.Faults)
+	}
+}
+
+func TestApplyToOptions(t *testing.T) {
+	var c Common
+	c.Quota = 9_000
+	c.Seed = 5
+	var opts sim.Options
+	if err := c.Apply(&opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if opts.QuotaInstr != 9_000 || opts.Seed != 5 {
+		t.Fatalf("applied options = %+v", opts)
+	}
+	if opts.MaxCycles == 0 {
+		t.Fatal("Apply did not normalize the options")
+	}
+	if opts.Telemetry.Enabled() {
+		t.Fatal("collector enabled without Start/-metrics/-events")
+	}
+}
+
+func TestApplyToRunner(t *testing.T) {
+	c := Common{Quota: 7_000, Seed: 3, Jobs: 2, Quiet: true,
+		Faults: flagDefaults().Faults}
+	r := &experiments.Runner{}
+	if err := c.Apply(nil, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Quota != 7_000 || r.Seed != 3 || r.Jobs != 2 || r.FaultSeed != 1 {
+		t.Fatalf("applied runner = %+v", r)
+	}
+	if r.Progress != nil {
+		t.Fatal("quiet runner has progress output")
+	}
+	if r.TraceQuota == 0 {
+		t.Fatal("Apply did not normalize the runner")
+	}
+
+	// Zero quota/seed mean "keep the runner's own values".
+	keep := experiments.QuickRunner()
+	z := Common{Faults: flagDefaults().Faults}
+	if err := z.Apply(nil, keep); err != nil {
+		t.Fatal(err)
+	}
+	if keep.Quota != 40_000 || keep.Seed != 1 {
+		t.Fatalf("zero flags overrode runner defaults: %+v", keep)
+	}
+}
+
+// flagDefaults parses an empty command line to obtain the default
+// Common (the fault flag group is only constructible via Register).
+func flagDefaults() Common {
+	fs := newFlagSet()
+	var c Common
+	c.Register(fs, Defaults{})
+	_ = fs.Parse(nil)
+	return c
+}
+
+func TestApplyRejectsInvalid(t *testing.T) {
+	c := flagDefaults()
+	c.Jobs = -1
+	if err := c.Apply(nil, &experiments.Runner{}); err == nil {
+		t.Fatal("negative jobs accepted")
+	}
+}
+
+func TestStartWritesTelemetryOutputs(t *testing.T) {
+	dir := t.TempDir()
+	c := flagDefaults()
+	c.Metrics = filepath.Join(dir, "m.json")
+	c.Events = filepath.Join(dir, "e.jsonl")
+	cleanup, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Collector().Enabled() {
+		t.Fatal("Start did not build a collector")
+	}
+	c.Collector().RegisterCounter("x", func() uint64 { return 4 })
+	c.Collector().Emit("run.start", 0, nil)
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	data, err := os.ReadFile(c.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Name != "x" || snap.Metrics[0].Value != 4 {
+		t.Fatalf("metrics file = %s", data)
+	}
+	evdata, err := os.ReadFile(c.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evdata) == 0 {
+		t.Fatal("events file empty")
+	}
+}
+
+func TestStartWithoutTelemetryIsNil(t *testing.T) {
+	c := flagDefaults()
+	cleanup, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Collector() != nil {
+		t.Fatal("collector built with no -metrics/-events")
+	}
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetResolution(t *testing.T) {
+	fs := newFlagSet()
+	tg := Target{ConfigName: "SH-STT", BenchName: "fft", ScaleName: "medium", Cluster: 16}
+	tg.Register(fs, TAll)
+	if err := fs.Parse([]string{"-config", "pr-stt-cc", "-scale", "LARGE", "-cluster", "8", "-bench", "lu"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := tg.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != config.PRSTTCC || cfg.Scale != config.Large || cfg.ClusterSize != 8 {
+		t.Fatalf("resolved config = %+v", cfg)
+	}
+	if tg.BenchName != "lu" {
+		t.Fatalf("bench = %q", tg.BenchName)
+	}
+
+	bad := Target{ConfigName: "nope"}
+	if _, err := bad.Config(); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+	bad = Target{ConfigName: "SH-STT", ScaleName: "tiny"}
+	if _, err := bad.Config(); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+
+	// Partial registration declares only the requested flags.
+	fs2 := newFlagSet()
+	tg2 := Target{ConfigName: "SH-STT-CC", BenchName: "radix"}
+	tg2.Register(fs2, TConfig|TBench)
+	if fs2.Lookup("scale") != nil || fs2.Lookup("cluster") != nil {
+		t.Fatal("unrequested target flags registered")
+	}
+	cfg2, err := tg2.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Scale != config.Medium || cfg2.ClusterSize != config.New(config.SHSTTCC, config.Medium).ClusterSize {
+		t.Fatalf("defaulted config = %+v", cfg2)
+	}
+}

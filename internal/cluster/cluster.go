@@ -32,6 +32,7 @@ import (
 	"respin/internal/mem"
 	"respin/internal/power"
 	"respin/internal/sharedcache"
+	"respin/internal/telemetry"
 	"respin/internal/trace"
 	"respin/internal/variation"
 )
@@ -163,15 +164,15 @@ type vcoreState struct {
 type Stats struct {
 	// LoadLatency distributes load completion latency in cache cycles
 	// (buckets up to 299, then overflow).
-	LoadLatency    *stats.Histogram
-	Instructions   uint64
-	CoherenceReads uint64
-	SpinAccesses   uint64
-	Migrations     uint64
-	HWSwitches     uint64
-	PowerUps       uint64
-	L2Accesses     uint64
-	L3Accesses     uint64
+	LoadLatency    *stats.Histogram `json:"load_latency,omitempty"`
+	Instructions   uint64           `json:"instructions"`
+	CoherenceReads uint64           `json:"coherence_reads"`
+	SpinAccesses   uint64           `json:"spin_accesses"`
+	Migrations     uint64           `json:"migrations"`
+	HWSwitches     uint64           `json:"hw_switches"`
+	PowerUps       uint64           `json:"power_ups"`
+	L2Accesses     uint64           `json:"l2_accesses"`
+	L3Accesses     uint64           `json:"l3_accesses"`
 }
 
 // Cluster is one cluster instance.
@@ -214,6 +215,10 @@ type Cluster struct {
 	faults   *faults.Injector
 	wrFaults *faults.Injector
 	deadCnt  int
+	// tel is the cluster's telemetry collector (nil when disabled);
+	// event emissions are guarded on it so the fault-free, untelemetered
+	// hot path pays one pointer test.
+	tel *telemetry.Collector
 
 	events   eventHeap
 	eventSeq uint64
@@ -249,6 +254,10 @@ type Params struct {
 	Lower      Lower
 	// Faults is the chip-wide fault injector; nil injects nothing.
 	Faults *faults.Injector
+	// Telemetry, when enabled, receives this cluster's metric
+	// registrations and events (conventionally the run collector's
+	// "cluster.<id>" child). Nil disables telemetry at zero cost.
+	Telemetry *telemetry.Collector
 }
 
 // New builds a cluster.
@@ -340,6 +349,10 @@ func New(p Params) *Cluster {
 				cl.dir.Cache(i).AttachFaults(p.Faults)
 			}
 		}
+	}
+	if p.Telemetry.Enabled() {
+		cl.tel = p.Telemetry
+		cl.registerTelemetry()
 	}
 	return cl
 }

@@ -156,6 +156,9 @@ func (cl *Cluster) chargeL1D(write bool) {
 		e = cl.chip.Energies.L1DWrite
 		if r := cl.wrFaults.ArrayWriteRetries(); r > 0 {
 			cl.Meter.AddPJ(power.CacheDynamic, float64(r)*e)
+			if cl.tel != nil {
+				cl.emitRetry("l1d", r, false)
+			}
 		}
 	}
 	cl.Meter.AddPJ(power.CacheDynamic, e)
@@ -246,5 +249,8 @@ func (cl *Cluster) l2WriteRetries() uint64 {
 		return 0
 	}
 	cl.Meter.AddPJ(power.CacheDynamic, float64(r)*cl.chip.Energies.L2Write)
+	if cl.tel != nil {
+		cl.emitRetry("l2", r, false)
+	}
 	return uint64(r) * uint64(cl.chip.Latencies.L2Write)
 }

@@ -121,6 +121,9 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 	if s.WriteRetries > 0 {
 		cl.Meter.AddPJ(power.CacheDynamic, float64(s.WriteRetries)*e.L1DWrite)
 	}
+	if cl.tel != nil && (s.WriteRetries > 0 || s.WriteAborted) {
+		cl.emitRetry("l1d", s.WriteRetries, s.WriteAborted)
+	}
 	switch tagKind(s.Req.Tag) {
 	case tagLoad:
 		v := tagVCore(s.Req.Tag)
@@ -178,6 +181,9 @@ func (cl *Cluster) serviceI(s sharedcache.Serviced) {
 	e := &cl.chip.Energies
 	if s.WriteRetries > 0 {
 		cl.Meter.AddPJ(power.CacheDynamic, float64(s.WriteRetries)*e.L1IWrite)
+	}
+	if cl.tel != nil && (s.WriteRetries > 0 || s.WriteAborted) {
+		cl.emitRetry("l1i", s.WriteRetries, s.WriteAborted)
 	}
 	switch tagKind(s.Req.Tag) {
 	case tagIFetch:

@@ -8,6 +8,7 @@
 package config
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 )
@@ -78,6 +79,9 @@ func (t MemTech) String() string {
 	}
 }
 
+// MarshalJSON encodes the technology as its name.
+func (t MemTech) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
 // CacheScale selects one of the three evaluated hierarchy sizes
 // (Section IV: roughly 1, 2 and 4 MB of total cache per core).
 type CacheScale int
@@ -105,6 +109,9 @@ func (s CacheScale) String() string {
 	}
 }
 
+// MarshalJSON encodes the scale as its name.
+func (s CacheScale) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
 // L1Org selects private per-core L1s (with intra-cluster coherence) or a
 // single time-multiplexed L1 shared by the whole cluster.
 type L1Org int
@@ -125,6 +132,9 @@ func (o L1Org) String() string {
 	}
 	return "shared"
 }
+
+// MarshalJSON encodes the organisation as its name.
+func (o L1Org) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
 
 // ConsolidationMode selects the dynamic core management policy.
 type ConsolidationMode int
@@ -158,6 +168,9 @@ func (m ConsolidationMode) String() string {
 		return fmt.Sprintf("ConsolidationMode(%d)", int(m))
 	}
 }
+
+// MarshalJSON encodes the mode as its name.
+func (m ConsolidationMode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
 
 // CacheParams describes one cache in the hierarchy.
 type CacheParams struct {
@@ -366,6 +379,9 @@ func (k ArchKind) String() string {
 		return fmt.Sprintf("ArchKind(%d)", int(k))
 	}
 }
+
+// MarshalJSON encodes the configuration as its mnemonic.
+func (k ArchKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
 
 // Description returns the Table IV description line.
 func (k ArchKind) Description() string {

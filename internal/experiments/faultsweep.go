@@ -126,7 +126,8 @@ func (r *Runner) runFault(tag string, kind config.ArchKind, bench string, fp fau
 	key := fmt.Sprintf("fault|%s|%v|%s|%d", tag, kind, bench, r.Quota)
 	return r.shared(key, func() (sim.Result, error) {
 		cfg := config.New(kind, config.Medium)
-		res, err := sim.RunContext(r.ctx(), cfg, bench, sim.Options{
+		label := fmt.Sprintf("fault.%s.%v.%s", tag, kind, bench)
+		res, err := r.runLabeled(label, cfg, bench, sim.Options{
 			QuotaInstr: r.Quota,
 			Seed:       r.Seed,
 			Faults:     fp,

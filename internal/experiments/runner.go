@@ -17,10 +17,12 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"respin/internal/config"
 	"respin/internal/sim"
 	"respin/internal/stats"
+	"respin/internal/telemetry"
 	"respin/internal/trace"
 )
 
@@ -50,11 +52,24 @@ type Runner struct {
 	// Jobs bounds how many simulations run concurrently. Zero selects
 	// GOMAXPROCS; one reproduces the serial runner.
 	Jobs int
+	// Telemetry, when non-nil, receives runner-level metrics
+	// (runs started/completed, singleflight cache hits), one
+	// run.progress event per completed simulation, and — absorbed under
+	// "run.<label>." — the per-run metric snapshot of every simulation
+	// the runner executes. Each simulation gets its own detached
+	// collector sharing this one's event emitter, so concurrent runs
+	// never collide on metric names.
+	Telemetry *telemetry.Collector
 
 	mu      sync.Mutex
 	cache   map[string]*flight
 	sem     chan struct{}
 	aborted bool
+
+	telOnce   sync.Once
+	started   atomic.Uint64
+	completed atomic.Uint64
+	cacheHits atomic.Uint64
 }
 
 // flight is one singleflight cache entry. The first requester of a key
@@ -134,6 +149,57 @@ func QuickRunner() *Runner {
 	}
 }
 
+// Normalize applies the runner defaults (those NewRunner would have
+// set) and rejects invalid settings in one place, mirroring
+// sim.Options.Normalize. A zero-value Runner normalized this way is
+// equivalent to NewRunner().
+func (r *Runner) Normalize() error {
+	if r.Jobs < 0 {
+		return fmt.Errorf("experiments: negative job count %d", r.Jobs)
+	}
+	if r.Quota == 0 {
+		r.Quota = 150_000
+	}
+	if r.TraceQuota == 0 {
+		r.TraceQuota = 400_000
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.FaultSeed == 0 {
+		r.FaultSeed = 1
+	}
+	if len(r.Benches) == 0 {
+		r.Benches = trace.Names()
+	}
+	for _, b := range r.Benches {
+		if _, err := trace.ByName(b); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*flight)
+	}
+	r.mu.Unlock()
+	r.registerTelemetry()
+	return nil
+}
+
+// registerTelemetry publishes the runner's own progress counters; the
+// per-run metric snapshots arrive separately via Absorb in runLabeled.
+func (r *Runner) registerTelemetry() {
+	if !r.Telemetry.Enabled() {
+		return
+	}
+	r.telOnce.Do(func() {
+		c := r.Telemetry
+		c.RegisterCounter("runner.runs_started", r.started.Load)
+		c.RegisterCounter("runner.runs_completed", r.completed.Load)
+		c.RegisterCounter("runner.cache_hits", r.cacheHits.Load)
+	})
+}
+
 // semLocked returns the worker-pool semaphore, sized on first use so
 // Jobs can be assigned any time before the first run. Callers hold mu.
 func (r *Runner) semLocked() chan struct{} {
@@ -155,12 +221,14 @@ func (r *Runner) semLocked() chan struct{} {
 // complete one. fn returns a non-nil error only for cancellation —
 // simulator failures become attributed panics inside fn.
 func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
+	r.registerTelemetry()
 	r.mu.Lock()
 	if r.cache == nil {
 		r.cache = make(map[string]*flight)
 	}
 	if f, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		r.cacheHits.Add(1)
 		<-f.done
 		return f.res
 	}
@@ -170,6 +238,7 @@ func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
 	r.mu.Unlock()
 
 	sem <- struct{}{}
+	r.started.Add(1)
 	res, err := func() (sim.Result, error) {
 		defer func() { <-sem }()
 		defer func() {
@@ -195,6 +264,17 @@ func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
 		r.aborted = true
 	}
 	r.mu.Unlock()
+	if err == nil {
+		r.completed.Add(1)
+		if r.Telemetry.Enabled() {
+			r.Telemetry.Emit("run.progress", 0, map[string]any{
+				"key":        key,
+				"started":    r.started.Load(),
+				"completed":  r.completed.Load(),
+				"cache_hits": r.cacheHits.Load(),
+			})
+		}
+	}
 	f.res = res
 	close(f.done)
 	return res
@@ -257,11 +337,42 @@ func (r *Runner) runSim(cfg config.Config, bench string, quota uint64, epochTrac
 				cfg.Kind, cfg.Scale, cfg.ClusterSize, bench, r.Seed, r.faultSeed(), quota, p))
 		}
 	}()
-	return sim.RunContext(r.ctx(), cfg, bench, sim.Options{
+	return r.runLabeled(runLabel(cfg, bench, quota, epochTrace), cfg, bench, sim.Options{
 		QuotaInstr: quota,
 		Seed:       r.Seed,
 		EpochTrace: epochTrace,
 	})
+}
+
+// runLabel is the stable dotted identity a run's absorbed metrics and
+// scoped events appear under ("run.<label>.…" metrics, scope
+// "<root>/<label>" events).
+func runLabel(cfg config.Config, bench string, quota uint64, epochTrace bool) string {
+	label := fmt.Sprintf("%v.%v.cl%d.%s.q%d", cfg.Kind, cfg.Scale, cfg.ClusterSize, bench, quota)
+	if epochTrace {
+		label += ".trace"
+	}
+	return label
+}
+
+// runLabeled executes one simulation, attaching a detached per-run
+// collector when the runner has telemetry enabled. The per-run
+// collector shares the runner's event emitter (scoped by label) but has
+// its own metric namespace, so concurrent simulations never collide;
+// its final snapshot is absorbed into the runner's collector under
+// "run.<label>." once the run completes.
+func (r *Runner) runLabeled(label string, cfg config.Config, bench string, opts sim.Options) (sim.Result, error) {
+	if r.Telemetry.Enabled() {
+		opts.Telemetry = telemetry.New(
+			telemetry.WithEmitter(r.Telemetry.Emitter()),
+			telemetry.WithScope(label),
+		)
+	}
+	res, err := sim.RunContext(r.ctx(), cfg, bench, opts)
+	if err == nil && r.Telemetry.Enabled() {
+		r.Telemetry.Absorb("run."+label, res.Metrics)
+	}
+	return res, err
 }
 
 // medium is shorthand for the default configuration point.

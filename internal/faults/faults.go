@@ -39,6 +39,7 @@ import (
 	"sort"
 
 	"respin/internal/reliability"
+	"respin/internal/telemetry"
 )
 
 // Stream seed offsets: each mechanism gets an independent RNG derived
@@ -133,12 +134,16 @@ type Counts struct {
 	// STTWriteRetries counts the re-issued attempts they triggered
 	// (equal unless a write exhausted its retry budget); STTWriteAborts
 	// counts writes that hit MaxWriteRetries and gave up.
-	STTWriteFailures, STTWriteRetries, STTWriteAborts uint64
+	STTWriteFailures uint64 `json:"stt_write_failures"`
+	STTWriteRetries  uint64 `json:"stt_write_retries"`
+	STTWriteAborts   uint64 `json:"stt_write_aborts"`
 	// SRAMReadFlips counts reads that saw at least one upset bit;
 	// SRAMCorrected and SRAMUncorrectable split them by ECC outcome.
-	SRAMReadFlips, SRAMCorrected, SRAMUncorrectable uint64
+	SRAMReadFlips     uint64 `json:"sram_read_flips"`
+	SRAMCorrected     uint64 `json:"sram_corrected"`
+	SRAMUncorrectable uint64 `json:"sram_uncorrectable"`
 	// CoreKills counts hard core-kill faults delivered.
-	CoreKills uint64
+	CoreKills uint64 `json:"core_kills"`
 }
 
 // Any reports whether any fault event was recorded.
@@ -325,6 +330,23 @@ func (in *Injector) DropKill() {
 		return
 	}
 	in.kills = in.kills[1:]
+}
+
+// AttachTelemetry registers the injector's event counters into c
+// (conventionally the run collector's "faults" child). Nil injectors
+// and nil collectors are both no-ops; registration only captures
+// closures, so telemetry never perturbs the fault RNG streams.
+func (in *Injector) AttachTelemetry(c *telemetry.Collector) {
+	if in == nil || !c.Enabled() {
+		return
+	}
+	c.RegisterCounter("stt_write_failures", func() uint64 { return in.Counts.STTWriteFailures })
+	c.RegisterCounter("stt_write_retries", func() uint64 { return in.Counts.STTWriteRetries })
+	c.RegisterCounter("stt_write_aborts", func() uint64 { return in.Counts.STTWriteAborts })
+	c.RegisterCounter("sram_read_flips", func() uint64 { return in.Counts.SRAMReadFlips })
+	c.RegisterCounter("sram_corrected", func() uint64 { return in.Counts.SRAMCorrected })
+	c.RegisterCounter("sram_uncorrectable", func() uint64 { return in.Counts.SRAMUncorrectable })
+	c.RegisterCounter("core_kills", func() uint64 { return in.Counts.CoreKills })
 }
 
 // Snapshot returns the event counts (zero value for a nil injector).

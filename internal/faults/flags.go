@@ -20,24 +20,28 @@ type Flags struct {
 	KillCycle    uint64
 }
 
-// Bind registers the fault-injection flags. All defaults inject nothing,
-// so tools behave bit-identically to their pre-fault versions unless a
-// fault flag is given.
-func Bind() *Flags {
+// Bind registers the fault-injection flags on the default flag set. All
+// defaults inject nothing, so tools behave bit-identically to their
+// pre-fault versions unless a fault flag is given.
+func Bind() *Flags { return BindTo(flag.CommandLine) }
+
+// BindTo registers the fault-injection flags on an explicit flag set
+// (how internal/cli composes them into the shared CLI surface).
+func BindTo(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
-	flag.Int64Var(&f.Seed, "fault-seed", 1,
+	fs.Int64Var(&f.Seed, "fault-seed", 1,
 		"fault-injection randomness seed (distinct from -seed)")
-	flag.Float64Var(&f.STTWriteFail, "stt-write-fail", 0,
+	fs.Float64Var(&f.STTWriteFail, "stt-write-fail", 0,
 		"per-attempt STT-RAM write-verify failure probability")
-	flag.Float64Var(&f.SRAMBitFlip, "sram-bitflip", 0,
+	fs.Float64Var(&f.SRAMBitFlip, "sram-bitflip", 0,
 		"per-cell SRAM read upset probability; negative derives it from the cache rail voltage")
-	flag.StringVar(&f.ECCName, "ecc", "SECDED",
+	fs.StringVar(&f.ECCName, "ecc", "SECDED",
 		"ECC scheme protecting SRAM words: none, parity, SECDED, DECTED")
-	flag.BoolVar(&f.Halt, "halt-uncorrectable", false,
+	fs.BoolVar(&f.Halt, "halt-uncorrectable", false,
 		"abort the run on the first detected uncorrectable SRAM word")
-	flag.IntVar(&f.KillCores, "kill-cores", 0,
+	fs.IntVar(&f.KillCores, "kill-cores", 0,
 		"hard-kill this many cores in every cluster at -kill-cycle")
-	flag.Uint64Var(&f.KillCycle, "kill-cycle", 20_000,
+	fs.Uint64Var(&f.KillCycle, "kill-cycle", 20_000,
 		"cache cycle at which -kill-cores faults strike")
 	return f
 }

@@ -1,0 +1,37 @@
+package mem
+
+import (
+	"respin/internal/stats"
+	"respin/internal/telemetry"
+)
+
+// RegisterTelemetry registers the aggregate statistics of one or more
+// caches under the collector's prefix. Passing several caches (e.g. the
+// per-core private L1Ds of one cluster) publishes their summed
+// counters; values are read lazily at snapshot time, so registration
+// adds no cost to the simulation hot path.
+func RegisterTelemetry(col *telemetry.Collector, caches ...*Cache) {
+	if !col.Enabled() || len(caches) == 0 {
+		return
+	}
+	sum := func(pick func(*Stats) *stats.Counter) func() uint64 {
+		return func() uint64 {
+			var total uint64
+			for _, ca := range caches {
+				total += pick(&ca.Stats).Value()
+			}
+			return total
+		}
+	}
+	col.RegisterCounter("reads", sum(func(s *Stats) *stats.Counter { return &s.Reads }))
+	col.RegisterCounter("writes", sum(func(s *Stats) *stats.Counter { return &s.Writes }))
+	col.RegisterCounter("read_misses", sum(func(s *Stats) *stats.Counter { return &s.ReadMisses }))
+	col.RegisterCounter("write_misses", sum(func(s *Stats) *stats.Counter { return &s.WriteMisses }))
+	col.RegisterCounter("evictions", sum(func(s *Stats) *stats.Counter { return &s.Evictions }))
+	col.RegisterCounter("writebacks", sum(func(s *Stats) *stats.Counter { return &s.Writebacks }))
+	col.RegisterCounter("invalidations", sum(func(s *Stats) *stats.Counter { return &s.Invalidations }))
+	col.RegisterCounter("invalidations_dirty", sum(func(s *Stats) *stats.Counter { return &s.InvalidationsDirty }))
+	col.RegisterCounter("fills", sum(func(s *Stats) *stats.Counter { return &s.FillsFromLowerLevel }))
+	col.RegisterCounter("ecc_corrected", sum(func(s *Stats) *stats.Counter { return &s.ECCCorrected }))
+	col.RegisterCounter("ecc_uncorrectable", sum(func(s *Stats) *stats.Counter { return &s.ECCUncorrectable }))
+}

@@ -1,0 +1,24 @@
+package power
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMeterMarshalJSON(t *testing.T) {
+	var m Meter
+	m.AddPJ(CoreDynamic, 1.5)
+	m.AddPJ(CoreLeakage, 2)
+	m.AddPJ(CacheDynamic, 3)
+	m.AddPJ(CacheLeakage, 4)
+	m.AddPJ(Shifter, 0.5)
+	got, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"core_dynamic_pj":1.5,"core_leakage_pj":2,"cache_dynamic_pj":3,` +
+		`"cache_leakage_pj":4,"level_shifter_pj":0.5,"total_pj":11}`
+	if string(got) != want {
+		t.Fatalf("meter JSON = %s, want %s", got, want)
+	}
+}

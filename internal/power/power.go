@@ -26,6 +26,7 @@
 package power
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -291,6 +292,24 @@ func (m *Meter) Sub(other *Meter) Meter {
 
 // Reset clears the meter.
 func (m *Meter) Reset() { m.pj = [numComponents]float64{} }
+
+// MarshalJSON encodes the per-component energies plus the total, using
+// the stable snake_case keys shared by -json output and telemetry
+// metric snapshots.
+func (m Meter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		CoreDynamicPJ  float64 `json:"core_dynamic_pj"`
+		CoreLeakagePJ  float64 `json:"core_leakage_pj"`
+		CacheDynamicPJ float64 `json:"cache_dynamic_pj"`
+		CacheLeakagePJ float64 `json:"cache_leakage_pj"`
+		LevelShifterPJ float64 `json:"level_shifter_pj"`
+		TotalPJ        float64 `json:"total_pj"`
+	}{
+		m.pj[CoreDynamic], m.pj[CoreLeakage],
+		m.pj[CacheDynamic], m.pj[CacheLeakage],
+		m.pj[Shifter], m.TotalPJ(),
+	})
+}
 
 // AvgPowerW returns average power over a duration in ps.
 func (m *Meter) AvgPowerW(ps int64) float64 {

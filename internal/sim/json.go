@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"encoding/json"
+
+	"respin/internal/cluster"
+	"respin/internal/config"
+	"respin/internal/faults"
+	"respin/internal/power"
+	"respin/internal/stats"
+	"respin/internal/telemetry"
+)
+
+// cfgWire is the stable JSON shape of a chip configuration. The enum
+// fields marshal as their String() names, so downstream tooling never
+// sees raw iota values.
+type cfgWire struct {
+	Kind          config.ArchKind          `json:"kind"`
+	Scale         config.CacheScale        `json:"scale"`
+	ClusterSize   int                      `json:"cluster_size"`
+	NumCores      int                      `json:"num_cores"`
+	Tech          config.MemTech           `json:"tech"`
+	L1            config.L1Org             `json:"l1"`
+	Consolidation config.ConsolidationMode `json:"consolidation"`
+}
+
+// MarshalJSON renders a Result with a stable, documented key set (see
+// DESIGN.md §4c). Histogram/summary/series fields use the pointer
+// receivers defined in package stats; empty aggregates are elided.
+func (r Result) MarshalJSON() ([]byte, error) {
+	wire := struct {
+		Config       cfgWire             `json:"config"`
+		Bench        string              `json:"bench"`
+		Cycles       uint64              `json:"cycles"`
+		TimePS       int64               `json:"time_ps"`
+		Instructions uint64              `json:"instructions"`
+		IPC          float64             `json:"ipc"`
+		Energy       power.Meter         `json:"energy"`
+		EnergyPJ     float64             `json:"energy_pj"`
+		AvgPowerW    float64             `json:"avg_power_w"`
+		HalfMissRate float64             `json:"half_miss_rate"`
+		L1DMissRate  float64             `json:"l1d_miss_rate"`
+		ReadCore     *stats.Histogram    `json:"read_core_cycles,omitempty"`
+		Arrivals     *stats.Histogram    `json:"arrivals_per_cycle,omitempty"`
+		ActiveCores  *stats.Summary      `json:"active_cores"`
+		Trace        *stats.TimeSeries   `json:"trace"`
+		Stats        cluster.Stats       `json:"stats"`
+		Faults       faults.Counts       `json:"faults"`
+		DeadCores    int                 `json:"dead_cores"`
+		Metrics      *telemetry.Snapshot `json:"metrics,omitempty"`
+	}{
+		Config: cfgWire{
+			Kind:          r.Config.Kind,
+			Scale:         r.Config.Scale,
+			ClusterSize:   r.Config.ClusterSize,
+			NumCores:      r.Config.NumCores,
+			Tech:          r.Config.Tech,
+			L1:            r.Config.L1,
+			Consolidation: r.Config.Consolidation,
+		},
+		Bench:        r.Bench,
+		Cycles:       r.Cycles,
+		TimePS:       r.TimePS,
+		Instructions: r.Instructions,
+		IPC:          r.IPC(),
+		Energy:       r.Energy,
+		EnergyPJ:     r.EnergyPJ,
+		AvgPowerW:    r.AvgPowerW,
+		HalfMissRate: r.HalfMissRate,
+		L1DMissRate:  r.L1DMissRate,
+		ReadCore:     r.ReadCoreCycles,
+		Arrivals:     r.ArrivalsPerCycle,
+		ActiveCores:  &r.ActiveCores,
+		Trace:        &r.Trace,
+		Stats:        r.Stats,
+		Faults:       r.Faults,
+		DeadCores:    r.DeadCores,
+		Metrics:      r.Metrics,
+	}
+	return json.Marshal(wire)
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/telemetry"
+)
+
+// TestResultMarshalJSON checks the stable wire shape of a real run:
+// enum names (not iota values), the documented key set, and the metrics
+// snapshot appearing if and only if telemetry was enabled.
+func TestResultMarshalJSON(t *testing.T) {
+	t.Parallel()
+	cfg := config.New(config.SHSTTCC, config.Medium)
+	res, err := Run(cfg, "fft", Options{QuotaInstr: 8_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"config", "bench", "cycles", "time_ps", "instructions", "ipc",
+		"energy", "energy_pj", "avg_power_w", "half_miss_rate",
+		"l1d_miss_rate", "active_cores", "trace", "stats", "faults",
+		"dead_cores",
+	} {
+		if _, ok := wire[key]; !ok {
+			t.Errorf("result JSON missing key %q", key)
+		}
+	}
+	if _, ok := wire["metrics"]; ok {
+		t.Error("untelemetered result has a metrics key")
+	}
+	cfgWire := wire["config"].(map[string]any)
+	if cfgWire["kind"] != "SH-STT-CC" || cfgWire["tech"] != "STT-RAM" ||
+		cfgWire["l1"] != "shared" || cfgWire["consolidation"] != "greedy" ||
+		cfgWire["scale"] != "medium" {
+		t.Errorf("config enums not marshalled by name: %v", cfgWire)
+	}
+	energy := wire["energy"].(map[string]any)
+	if energy["total_pj"].(float64) != res.EnergyPJ {
+		t.Errorf("energy.total_pj = %v, want %v", energy["total_pj"], res.EnergyPJ)
+	}
+
+	// With telemetry the snapshot is embedded.
+	res2, err := Run(cfg, "fft", Options{
+		QuotaInstr: 8_000, Seed: 1,
+		Telemetry: telemetry.New(telemetry.WithEvents(io.Discard)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire2 struct {
+		Metrics *telemetry.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(data2, &wire2); err != nil {
+		t.Fatal(err)
+	}
+	if wire2.Metrics == nil || len(wire2.Metrics.Metrics) == 0 {
+		t.Fatal("telemetered result JSON has no metrics")
+	}
+	if _, ok := wire2.Metrics.Get("dram.accesses"); !ok {
+		t.Fatal("metrics snapshot missing dram.accesses")
+	}
+}

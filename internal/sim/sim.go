@@ -18,6 +18,7 @@ import (
 	"respin/internal/power"
 	"respin/internal/reliability"
 	"respin/internal/stats"
+	"respin/internal/telemetry"
 	"respin/internal/trace"
 	"respin/internal/variation"
 )
@@ -53,10 +54,47 @@ type Options struct {
 	// are bit-identical either way (the equivalence test enforces it);
 	// the flag exists for that test and for debugging.
 	DisableFastForward bool
+	// Telemetry, when enabled, receives metric registrations from every
+	// subsystem under stable dotted names and streams structured events
+	// (run lifecycle, consolidation epochs, core kills, write-verify
+	// retries, fast-forward jumps). Nil is the default and costs
+	// nothing; either way results are bit-identical — telemetry only
+	// observes, it never draws randomness or alters timing (the
+	// determinism test enforces this).
+	Telemetry *telemetry.Collector
 }
 
 // DefaultQuota is the default per-thread instruction budget.
 const DefaultQuota = 150_000
+
+// maxQuota bounds QuotaInstr so the derived MaxCycles watchdog
+// (quota x 200) cannot overflow a uint64.
+const maxQuota = ^uint64(0) / 200
+
+// Normalize applies the option defaults and rejects invalid
+// combinations in one place: zero quota selects DefaultQuota, zero
+// MaxCycles scales to the quota, zero seed selects 1. It does not
+// resolve configuration-dependent fault defaults (the negative
+// SRAMBitFlipPerCell rail derivation needs the config; New does that).
+func (o *Options) Normalize() error {
+	if o.QuotaInstr == 0 {
+		o.QuotaInstr = DefaultQuota
+	}
+	if o.QuotaInstr > maxQuota {
+		return fmt.Errorf("sim: quota %d overflows the watchdog cycle bound", o.QuotaInstr)
+	}
+	if o.MaxCycles == 0 {
+		// Generous bound: ~200 cache cycles per instruction per thread.
+		o.MaxCycles = o.QuotaInstr * 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Faults.MaxWriteRetries < 0 {
+		return fmt.Errorf("sim: negative fault write-retry budget %d", o.Faults.MaxWriteRetries)
+	}
+	return nil
+}
 
 // Result summarises one run.
 type Result struct {
@@ -95,6 +133,9 @@ type Result struct {
 	Faults faults.Counts
 	// DeadCores is the chip-wide count of killed physical cores.
 	DeadCores int
+	// Metrics is the telemetry snapshot taken at collection time; nil
+	// unless Options.Telemetry was enabled.
+	Metrics *telemetry.Snapshot
 }
 
 // IPC returns chip-wide instructions per cache cycle.
@@ -129,6 +170,12 @@ type Sim struct {
 	epochIdx  []int
 
 	ffSkipped uint64 // cycles fast-forwarded instead of ticked
+	ffJumps   uint64 // number of fast-forward jumps taken
+
+	// tel is the run's telemetry collector (nil when disabled); event
+	// emissions are guarded on it so the untelemetered path pays one
+	// pointer test.
+	tel *telemetry.Collector
 }
 
 // FastForwardedCycles reports how many cycles the idle fast-forward
@@ -144,15 +191,8 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.QuotaInstr == 0 {
-		opts.QuotaInstr = DefaultQuota
-	}
-	if opts.MaxCycles == 0 {
-		// Generous bound: ~200 cache cycles per instruction per thread.
-		opts.MaxCycles = opts.QuotaInstr * 200
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
+	if err := opts.Normalize(); err != nil {
+		return nil, err
 	}
 	if opts.Faults.SRAMBitFlipPerCell < 0 {
 		// Derive the flip rate from the cache rail: zero for STT-RAM
@@ -173,6 +213,9 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 		l3:     mem.NewCache(cfg.Hierarchy.L3),
 		dram:   mem.NewDRAM(),
 		faults: faults.New(opts.Faults),
+	}
+	if opts.Telemetry.Enabled() {
+		s.tel = opts.Telemetry
 	}
 	if s.faults != nil && cfg.Tech == config.SRAM {
 		s.l3.AttachFaults(s.faults)
@@ -197,8 +240,12 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 			QuotaInstr: opts.QuotaInstr,
 			Lower:      (*lowerAdapter)(s),
 			Faults:     s.faults,
+			Telemetry:  s.tel.Child(fmt.Sprintf("cluster.%d", i)),
 		})
 		s.mgrs[i] = s.newManager()
+	}
+	if s.tel != nil {
+		s.registerTelemetry()
 	}
 	return s, nil
 }
@@ -276,6 +323,17 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 	osEpochCycles := uint64(pp.OSIntervalPS / config.CachePeriodPS)
 	barrierPending := false
 
+	if s.tel != nil {
+		s.tel.Emit("run.start", 0, map[string]any{
+			"config":       s.cfg.Kind.String(),
+			"scale":        s.cfg.Scale.String(),
+			"cluster_size": s.cfg.ClusterSize,
+			"bench":        s.bench.Name,
+			"seed":         s.opts.Seed,
+			"quota":        s.opts.QuotaInstr,
+		})
+	}
+
 	nextKill, killPending := s.faults.NextKill()
 
 	now := uint64(0)
@@ -283,6 +341,7 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 		// Cancellation check, amortised over 4096-cycle windows so the
 		// hot loop stays branch-predictable.
 		if now&0xFFF == 0 && ctx.Err() != nil {
+			s.emitEnd("run.interrupted", now)
 			return s.collect(now), fmt.Errorf("sim: %s/%v interrupted at cycle %d: %w",
 				s.bench.Name, s.cfg.Kind, now, ctx.Err())
 		}
@@ -290,10 +349,18 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 		// Deliver scheduled core-kill faults. A refused kill (core
 		// already dead, or last survivor) is dropped uncounted.
 		for killPending && nextKill.Cycle <= now {
-			if s.clus[nextKill.Cluster].KillCore(nextKill.Core) {
+			delivered := s.clus[nextKill.Cluster].KillCore(nextKill.Core)
+			if delivered {
 				s.faults.PopKill()
 			} else {
 				s.faults.DropKill()
+			}
+			if s.tel != nil {
+				s.tel.Emit("fault.kill", now, map[string]any{
+					"cluster":   nextKill.Cluster,
+					"core":      nextKill.Core,
+					"delivered": delivered,
+				})
 			}
 			nextKill, killPending = s.faults.NextKill()
 		}
@@ -312,6 +379,7 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 		// Machine check: a detected-uncorrectable SRAM word halts the
 		// run when the policy says so.
 		if s.faults.HaltOnUncorrectable() && s.faults.Uncorrectable() {
+			s.emitEnd("run.halted", now)
 			return s.collect(now), &UncorrectableError{
 				Bench: s.bench.Name, Kind: s.cfg.Kind, Cycle: now,
 			}
@@ -369,13 +437,21 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 					for _, cl := range s.clus {
 						cl.SkipTo(wake)
 					}
-					s.ffSkipped += wake - (now + 1)
+					skipped := wake - (now + 1)
+					s.ffSkipped += skipped
+					s.ffJumps++
+					if s.tel != nil && skipped >= ffJumpEventMin {
+						s.tel.Emit("ff.jump", now, map[string]any{
+							"from": now + 1, "to": wake, "skipped": skipped,
+						})
+					}
 					now = wake - 1 // the loop increment lands on wake
 				}
 			}
 		}
 	}
 	if now >= s.opts.MaxCycles {
+		s.emitEnd("run.deadlock", now)
 		derr := &DeadlockError{
 			Bench:          s.bench.Name,
 			Kind:           s.cfg.Kind,
@@ -387,6 +463,7 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 		}
 		return Result{}, derr
 	}
+	s.emitEnd("run.end", now)
 	return s.collect(now), nil
 }
 
@@ -459,6 +536,17 @@ func (s *Sim) endEpoch(i int, now uint64) {
 	if s.epochIdx[i] > 3 {
 		s.activeSum.Observe(float64(cl.ActiveCores()))
 	}
+	if s.tel != nil {
+		// Emitted after the manager's decision took effect, so "active"
+		// matches the value the epoch trace records.
+		s.tel.Emit("epoch", now, map[string]any{
+			"cluster":      i,
+			"epoch":        s.epochIdx[i],
+			"active":       cl.ActiveCores(),
+			"instructions": m.Instructions,
+			"time_us":      float64(now) * config.CachePeriodPS * 1e-6,
+		})
+	}
 }
 
 // collect assembles the final Result.
@@ -519,6 +607,7 @@ func (s *Sim) collect(cycles uint64) Result {
 	if l1dReads > 0 {
 		r.L1DMissRate = float64(l1dMisses) / float64(l1dReads)
 	}
+	r.Metrics = s.tel.Snapshot()
 	return r
 }
 

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"respin/internal/mem"
+)
+
+// ffJumpEventMin is the smallest idle fast-forward jump (in cache
+// cycles) worth a JSONL event. Tiny jumps happen constantly during
+// consolidation transients and would drown the stream; the counter
+// metrics (sim.ff.jumps / sim.ff.skipped_cycles) still account for
+// every jump regardless of size.
+const ffJumpEventMin = 1024
+
+// registerTelemetry wires the chip-level metric sources into the run's
+// collector. Cluster-local metrics are registered by cluster.New; this
+// covers everything owned by the Sim itself: the fast-forward
+// accounting, the shared L3 and DRAM, the consolidation summary, and
+// the fault-injection counters.
+func (s *Sim) registerTelemetry() {
+	c := s.tel
+	c.RegisterCounter("sim.ff.skipped_cycles", func() uint64 { return s.ffSkipped })
+	c.RegisterCounter("sim.ff.jumps", func() uint64 { return s.ffJumps })
+	c.RegisterCounter("dram.accesses", s.dram.Accesses.Value)
+	mem.RegisterTelemetry(c.Child("l3"), s.l3)
+	c.RegisterSummary("sim.active_cores_per_epoch", &s.activeSum)
+	if s.opts.EpochTrace {
+		c.RegisterSeries("sim.epoch_trace", &s.trace)
+	}
+	s.faults.AttachTelemetry(c.Child("faults"))
+}
+
+// emitEnd records a run-lifecycle terminal event (run.end,
+// run.deadlock, run.halted, run.interrupted).
+func (s *Sim) emitEnd(typ string, now uint64) {
+	if s.tel != nil {
+		s.tel.Emit(typ, now, nil)
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/faults"
+	"respin/internal/telemetry"
+)
+
+// TestTelemetryLeavesResultsBitIdentical is the determinism guarantee
+// behind Options.Telemetry: an enabled collector (with event streaming)
+// must leave every Result field bit-identical to the untelemetered run,
+// on every Table IV configuration — telemetry observes, it never draws
+// randomness or alters timing.
+func TestTelemetryLeavesResultsBitIdentical(t *testing.T) {
+	t.Parallel()
+	for _, kind := range config.AllArchKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := config.New(kind, config.Medium)
+			opts := Options{QuotaInstr: 12_000, Seed: 1, EpochTrace: true}
+			base, err := Run(cfg, "fft", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Telemetry = telemetry.New(telemetry.WithEvents(io.Discard))
+			got, err := Run(cfg, "fft", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Metrics == nil {
+				t.Fatal("telemetered run has no metric snapshot")
+			}
+			got.Metrics = nil // the snapshot is the only permitted difference
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("telemetry changed the result\nbase: %+v\ngot:  %+v", base, got)
+			}
+		})
+	}
+}
+
+// TestTelemetryDeterministicWithFaultsAndSlowPath extends the bit-
+// identical guarantee to the fault-injected and fast-forward-disabled
+// paths, whose extra event emissions (stt retries, kills, ff jumps)
+// must not perturb the simulation.
+func TestTelemetryDeterministicWithFaultsAndSlowPath(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		kind config.ArchKind
+		opts Options
+	}{
+		{"stt-write-fail", config.SHSTT, Options{
+			QuotaInstr: 12_000, Seed: 1,
+			Faults: faults.Params{Seed: 1, STTWriteFailProb: 1e-3},
+		}},
+		{"core-kills", config.SHSTTCC, Options{
+			QuotaInstr: 12_000, Seed: 1,
+			Faults: faults.Params{Seed: 1, Kills: faults.KillFirstN(4, 2, 5_000)},
+		}},
+		{"no-fast-forward", config.SHSTTCC, Options{
+			QuotaInstr: 12_000, Seed: 1, DisableFastForward: true,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := config.New(tc.kind, config.Medium)
+			base, err := Run(cfg, "radix", tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := tc.opts
+			opts.Telemetry = telemetry.New(telemetry.WithEvents(io.Discard))
+			got, err := Run(cfg, "radix", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Metrics = nil
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("telemetry changed the %s result", tc.name)
+			}
+		})
+	}
+}
+
+// TestEpochTelemetryReproducesTrace checks the Figure 12 pathway: the
+// "sim.epoch_trace" series metric and the cluster-0 "epoch" events must
+// reproduce Result.Trace exactly.
+func TestEpochTelemetryReproducesTrace(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	cfg := config.New(config.SHSTTCC, config.Medium)
+	opts := Options{
+		QuotaInstr: 30_000, Seed: 1, EpochTrace: true,
+		Telemetry: telemetry.New(telemetry.WithEvents(&buf)),
+	}
+	res, err := Run(cfg, "radix", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Len() == 0 {
+		t.Fatal("no consolidation epochs recorded; raise the quota")
+	}
+
+	m, ok := res.Metrics.Get("sim.epoch_trace")
+	if !ok {
+		t.Fatal("sim.epoch_trace metric missing")
+	}
+	if !reflect.DeepEqual(m.Times, res.Trace.Times) || !reflect.DeepEqual(m.Values, res.Trace.Values) {
+		t.Fatalf("epoch_trace metric diverges from Result.Trace:\nmetric %v %v\ntrace  %v %v",
+			m.Times, m.Values, res.Trace.Times, res.Trace.Values)
+	}
+
+	evs, err := telemetry.ParseEvents(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var active []float64
+	for _, ev := range evs {
+		if ev.Type == "epoch" && ev.Attrs["cluster"] == float64(0) {
+			active = append(active, ev.Attrs["active"].(float64))
+		}
+	}
+	if !reflect.DeepEqual(active, res.Trace.Values) {
+		t.Fatalf("cluster-0 epoch events %v diverge from trace %v", active, res.Trace.Values)
+	}
+	if evs[0].Type != "run.start" || evs[len(evs)-1].Type != "run.end" {
+		t.Fatalf("event stream not bracketed by run lifecycle: first %q last %q",
+			evs[0].Type, evs[len(evs)-1].Type)
+	}
+}
+
+// TestNormalizeRejectsInvalidOptions pins the error cases centralised
+// by Options.Normalize.
+func TestNormalizeRejectsInvalidOptions(t *testing.T) {
+	t.Parallel()
+	var o Options
+	if err := o.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if o.QuotaInstr != DefaultQuota || o.Seed != 1 || o.MaxCycles != DefaultQuota*200 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	bad := Options{QuotaInstr: maxQuota + 1}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("overflowing quota accepted")
+	}
+	bad = Options{Faults: faults.Params{MaxWriteRetries: -1}}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("negative retry budget accepted")
+	}
+}

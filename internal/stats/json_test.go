@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramMarshalJSON(t *testing.T) {
+	h := NewHistogram(3)
+	h.Observe(0)
+	h.ObserveN(2, 3)
+	h.Observe(9) // overflow
+	got, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"buckets":[1,0,3],"overflow":1,"total":5,"sum":15,"mean":3}`
+	if string(got) != want {
+		t.Fatalf("histogram JSON = %s, want %s", got, want)
+	}
+
+	empty, err := json.Marshal(NewHistogram(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEmpty := `{"buckets":[],"overflow":0,"total":0,"sum":0,"mean":0}`
+	if string(empty) != wantEmpty {
+		t.Fatalf("empty histogram JSON = %s, want %s", empty, wantEmpty)
+	}
+}
+
+func TestSummaryMarshalJSON(t *testing.T) {
+	var s Summary
+	s.Observe(2)
+	s.Observe(6)
+	got, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"n":2,"mean":4,"min":2,"max":6,"stddev":2}`
+	if string(got) != want {
+		t.Fatalf("summary JSON = %s, want %s", got, want)
+	}
+}
+
+func TestTimeSeriesMarshalJSON(t *testing.T) {
+	var ts TimeSeries
+	ts.Append(0.5, 16)
+	ts.Append(1.5, 12)
+	got, err := json.Marshal(&ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"times":[0.5,1.5],"values":[16,12]}`
+	if string(got) != want {
+		t.Fatalf("series JSON = %s, want %s", got, want)
+	}
+
+	empty, err := json.Marshal(&TimeSeries{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEmpty := `{"times":[],"values":[]}`
+	if string(empty) != wantEmpty {
+		t.Fatalf("empty series JSON = %s, want %s", empty, wantEmpty)
+	}
+}

@@ -8,6 +8,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -114,6 +115,14 @@ func (h *Histogram) Count(v int) uint64 {
 // Overflow returns the count of observations >= the bucket range.
 func (h *Histogram) Overflow() uint64 { return h.overflow }
 
+// Sum returns the exact sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Buckets returns a copy of the unit-bucket counts.
+func (h *Histogram) Buckets() []uint64 {
+	return append([]uint64(nil), h.buckets...)
+}
+
 // Fraction returns the fraction of observations equal to v (with the
 // overflow convention of Count). It returns 0 for an empty histogram.
 func (h *Histogram) Fraction(v int) float64 { return Ratio(h.Count(v), h.total) }
@@ -190,6 +199,22 @@ func (h *Histogram) String() string {
 	return b.String()
 }
 
+// MarshalJSON encodes the histogram with its exact internal counts, so
+// snapshots round-trip losslessly through JSON output.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	buckets := h.buckets
+	if buckets == nil {
+		buckets = []uint64{}
+	}
+	return json.Marshal(struct {
+		Buckets  []uint64 `json:"buckets"`
+		Overflow uint64   `json:"overflow"`
+		Total    uint64   `json:"total"`
+		Sum      uint64   `json:"sum"`
+		Mean     float64  `json:"mean"`
+	}{buckets, h.overflow, h.total, h.sum, h.Mean()})
+}
+
 // Summary accumulates a running min/max/mean/variance over float64
 // observations using Welford's algorithm.
 type Summary struct {
@@ -252,6 +277,17 @@ func (s *Summary) Variance() float64 {
 // StdDev returns the population standard deviation.
 func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
+// MarshalJSON encodes the summary's derived statistics.
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N      uint64  `json:"n"`
+		Mean   float64 `json:"mean"`
+		Min    float64 `json:"min"`
+		Max    float64 `json:"max"`
+		StdDev float64 `json:"stddev"`
+	}{s.n, s.Mean(), s.Min(), s.Max(), s.StdDev()})
+}
+
 // TimeSeries records (time, value) samples, e.g. active-core counts per
 // consolidation epoch (Figures 12 and 13).
 type TimeSeries struct {
@@ -276,6 +312,22 @@ func (ts *TimeSeries) Summary() Summary {
 		s.Observe(v)
 	}
 	return s
+}
+
+// MarshalJSON encodes the series as parallel arrays (empty arrays, not
+// null, for a zero-sample series).
+func (ts *TimeSeries) MarshalJSON() ([]byte, error) {
+	times, values := ts.Times, ts.Values
+	if times == nil {
+		times = []float64{}
+	}
+	if values == nil {
+		values = []float64{}
+	}
+	return json.Marshal(struct {
+		Times  []float64 `json:"times"`
+		Values []float64 `json:"values"`
+	}{times, values})
 }
 
 // Downsample returns a series with at most n points, averaging values

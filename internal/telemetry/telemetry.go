@@ -1,0 +1,418 @@
+// Package telemetry is the simulator's chip-wide observability layer:
+// a hierarchical metrics registry plus a structured JSONL event stream.
+//
+// # Metrics
+//
+// Every subsystem registers its counters, gauges, histograms, summaries
+// and time series into a Collector under stable dotted names (e.g.
+// "cluster.3.l1d.read_half_miss"). Registration stores a closure that
+// reads the live value, so the hot simulation path pays nothing: values
+// are read only when Snapshot is called, after the run completes.
+//
+// A nil *Collector is valid everywhere and does nothing, so telemetry
+// is strictly opt-in: with a nil collector the simulator's behaviour and
+// results are bit-identical to a build without this package (the
+// determinism test in package sim enforces the stronger property that
+// even an *enabled* collector leaves results bit-identical, since
+// telemetry only observes and never draws randomness or alters timing).
+//
+// # Events
+//
+// The Emitter appends one JSON object per line (JSONL) for discrete
+// occurrences: run lifecycle, consolidation epoch boundaries, core-kill
+// faults, write-verify retries, and idle fast-forward jumps. Events
+// carry a monotonic sequence number, the emitting scope, the cache
+// cycle, and free-form attributes. encoding/json marshals map keys in
+// sorted order, so the byte stream is deterministic for deterministic
+// inputs (the golden-file test pins the schema).
+//
+// # Concurrency
+//
+// A Collector's registry is mutex-protected, and an Emitter serialises
+// whole lines, so concurrent simulations may share one Emitter while
+// each run registers into its own detached Collector (how
+// experiments.Runner wires it: per-run collectors are snapshotted and
+// absorbed into the root under a "run.<label>" prefix).
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"respin/internal/stats"
+)
+
+// Metric kinds.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+	KindSummary   = "summary"
+	KindSeries    = "series"
+)
+
+// Metric is one named measurement in a Snapshot. Which fields are
+// populated depends on Kind: counters and gauges use Value; histograms
+// use Buckets/Overflow/Total/Sum and Mean; summaries use N/Mean/Min/
+// Max/StdDev; series use Times/Values.
+type Metric struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+
+	Value float64 `json:"value,omitempty"`
+
+	Buckets  []uint64 `json:"buckets,omitempty"`
+	Overflow uint64   `json:"overflow,omitempty"`
+	Total    uint64   `json:"total,omitempty"`
+	Sum      uint64   `json:"sum,omitempty"`
+
+	N      uint64  `json:"n,omitempty"`
+	Mean   float64 `json:"mean,omitempty"`
+	Min    float64 `json:"min,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+	StdDev float64 `json:"stddev,omitempty"`
+
+	Times  []float64 `json:"times,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of every registered metric,
+// sorted by name so its JSON encoding is stable.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Get returns the named metric.
+func (s *Snapshot) Get(name string) (Metric, bool) {
+	if s == nil {
+		return Metric{}, false
+	}
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// Value returns the named metric's scalar value (0 when absent).
+func (s *Snapshot) Value(name string) float64 {
+	m, _ := s.Get(name)
+	return m.Value
+}
+
+// root is the shared state behind a Collector and all its children.
+type root struct {
+	mu      sync.Mutex
+	sources map[string]func() Metric
+	emitter *Emitter
+	scope   string
+}
+
+// Collector is a handle into the metrics registry at one prefix. The
+// zero of its pointer type (nil) is a valid, disabled collector: every
+// method is nil-receiver safe and free.
+type Collector struct {
+	prefix string
+	root   *root
+}
+
+// Option configures a Collector at construction.
+type Option func(*root)
+
+// WithEvents streams JSONL events to w via a new Emitter.
+func WithEvents(w io.Writer) Option {
+	return func(r *root) { r.emitter = NewEmitter(w) }
+}
+
+// WithEmitter shares an existing Emitter (e.g. across per-run
+// collectors, so their events interleave into one ordered stream).
+func WithEmitter(e *Emitter) Option {
+	return func(r *root) { r.emitter = e }
+}
+
+// WithScope labels every event emitted through this collector tree,
+// identifying the run in a shared event stream.
+func WithScope(scope string) Option {
+	return func(r *root) { r.scope = scope }
+}
+
+// New returns an enabled Collector.
+func New(opts ...Option) *Collector {
+	r := &root{sources: make(map[string]func() Metric)}
+	for _, o := range opts {
+		o(r)
+	}
+	return &Collector{root: r}
+}
+
+// Enabled reports whether the collector records anything.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Child returns a collector whose registrations and events are prefixed
+// with name (joined with dots). Child of nil is nil.
+func (c *Collector) Child(name string) *Collector {
+	if c == nil {
+		return nil
+	}
+	return &Collector{prefix: join(c.prefix, name), root: c.root}
+}
+
+func join(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	if name == "" {
+		return prefix
+	}
+	return prefix + "." + name
+}
+
+// register stores one metric source; a later registration under the
+// same name replaces the earlier one.
+func (c *Collector) register(name string, fn func() Metric) {
+	if c == nil {
+		return
+	}
+	full := join(c.prefix, name)
+	c.root.mu.Lock()
+	c.root.sources[full] = fn
+	c.root.mu.Unlock()
+}
+
+// RegisterCounter registers a monotonic counter read through fn.
+func (c *Collector) RegisterCounter(name string, fn func() uint64) {
+	if c == nil {
+		return
+	}
+	c.register(name, func() Metric {
+		return Metric{Kind: KindCounter, Value: float64(fn())}
+	})
+}
+
+// RegisterGauge registers an instantaneous value read through fn.
+func (c *Collector) RegisterGauge(name string, fn func() float64) {
+	if c == nil {
+		return
+	}
+	c.register(name, func() Metric {
+		return Metric{Kind: KindGauge, Value: fn()}
+	})
+}
+
+// RegisterHistogram registers a live stats.Histogram.
+func (c *Collector) RegisterHistogram(name string, h *stats.Histogram) {
+	if c == nil || h == nil {
+		return
+	}
+	c.register(name, func() Metric {
+		return Metric{
+			Kind:     KindHistogram,
+			Buckets:  h.Buckets(),
+			Overflow: h.Overflow(),
+			Total:    h.Total(),
+			Sum:      h.Sum(),
+			Mean:     h.Mean(),
+		}
+	})
+}
+
+// RegisterSummary registers a live stats.Summary.
+func (c *Collector) RegisterSummary(name string, s *stats.Summary) {
+	if c == nil || s == nil {
+		return
+	}
+	c.register(name, func() Metric {
+		return Metric{
+			Kind:   KindSummary,
+			N:      s.N(),
+			Mean:   s.Mean(),
+			Min:    s.Min(),
+			Max:    s.Max(),
+			StdDev: s.StdDev(),
+		}
+	})
+}
+
+// RegisterSeries registers a live stats.TimeSeries.
+func (c *Collector) RegisterSeries(name string, ts *stats.TimeSeries) {
+	if c == nil || ts == nil {
+		return
+	}
+	c.register(name, func() Metric {
+		return Metric{
+			Kind:   KindSeries,
+			Times:  append([]float64(nil), ts.Times...),
+			Values: append([]float64(nil), ts.Values...),
+		}
+	})
+}
+
+// Absorb registers every metric of a finished snapshot as a static
+// source under prefix, so a parent collector (the experiments runner)
+// can fold completed per-run snapshots into its own registry without
+// retaining the run's live structures.
+func (c *Collector) Absorb(prefix string, snap *Snapshot) {
+	if c == nil || snap == nil {
+		return
+	}
+	for _, m := range snap.Metrics {
+		m := m
+		c.register(join(prefix, m.Name), func() Metric { return m })
+	}
+}
+
+// Snapshot reads every registered metric. It returns nil for a nil
+// collector, so Result fields stay nil (and omitted from JSON) on
+// untelemetered runs.
+func (c *Collector) Snapshot() *Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.root.mu.Lock()
+	names := make([]string, 0, len(c.root.sources))
+	for name := range c.root.sources {
+		names = append(names, name)
+	}
+	fns := make([]func() Metric, len(names))
+	for i, name := range names {
+		fns[i] = c.root.sources[name]
+	}
+	c.root.mu.Unlock()
+
+	snap := &Snapshot{Metrics: make([]Metric, len(names))}
+	for i, name := range names {
+		m := fns[i]()
+		m.Name = name
+		snap.Metrics[i] = m
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool {
+		return snap.Metrics[i].Name < snap.Metrics[j].Name
+	})
+	return snap
+}
+
+// Emitter returns the event emitter (nil when events are not streamed).
+func (c *Collector) Emitter() *Emitter {
+	if c == nil {
+		return nil
+	}
+	return c.root.emitter
+}
+
+// Scope returns the event scope of this collector: the root scope
+// joined with the collector's prefix by "/".
+func (c *Collector) Scope() string {
+	if c == nil {
+		return ""
+	}
+	switch {
+	case c.root.scope == "":
+		return c.prefix
+	case c.prefix == "":
+		return c.root.scope
+	default:
+		return c.root.scope + "/" + c.prefix
+	}
+}
+
+// Emit appends one event to the stream (a no-op without an emitter).
+func (c *Collector) Emit(typ string, cycle uint64, attrs map[string]any) {
+	if c == nil || c.root.emitter == nil {
+		return
+	}
+	c.root.emitter.Emit(Event{Type: typ, Scope: c.Scope(), Cycle: cycle, Attrs: attrs})
+}
+
+// Event is one line of the JSONL event stream.
+type Event struct {
+	// Seq is a monotonic per-emitter sequence number (assigned by Emit).
+	Seq uint64 `json:"seq"`
+	// Type names the occurrence, e.g. "run.start", "epoch", "fault.kill".
+	Type string `json:"type"`
+	// Scope identifies the emitting run/subsystem.
+	Scope string `json:"scope,omitempty"`
+	// Cycle is the cache cycle of the occurrence (0 outside simulation).
+	Cycle uint64 `json:"cycle"`
+	// Attrs carries event-specific fields; JSON keys marshal sorted.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Emitter writes events as JSONL, one whole line per event, safely from
+// concurrent goroutines.
+type Emitter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+	err error
+}
+
+// NewEmitter returns an emitter writing to w (nil w yields nil).
+func NewEmitter(w io.Writer) *Emitter {
+	if w == nil {
+		return nil
+	}
+	return &Emitter{w: w}
+}
+
+// Emit assigns the next sequence number and writes the event as one
+// JSON line. The first write error sticks and suppresses later writes.
+func (e *Emitter) Emit(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	ev.Seq = e.seq
+	data, err := json.Marshal(ev)
+	if err != nil {
+		e.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := e.w.Write(data); err != nil {
+		e.err = err
+		return
+	}
+	e.seq++
+}
+
+// Err returns the first write or encode error, if any.
+func (e *Emitter) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// ParseEvents decodes a JSONL event stream (testing and tooling aid).
+func ParseEvents(data []byte) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", len(events)+1, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"respin/internal/stats"
+)
+
+func TestNilCollectorIsSafeAndFree(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	if c.Child("x") != nil {
+		t.Fatal("Child of nil is not nil")
+	}
+	c.RegisterCounter("a", func() uint64 { return 1 })
+	c.RegisterGauge("b", func() float64 { return 1 })
+	c.RegisterHistogram("c", stats.NewHistogram(4))
+	c.RegisterSummary("d", &stats.Summary{})
+	c.RegisterSeries("e", &stats.TimeSeries{})
+	c.Absorb("f", &Snapshot{Metrics: []Metric{{Name: "x"}}})
+	c.Emit("ev", 0, nil)
+	if snap := c.Snapshot(); snap != nil {
+		t.Fatalf("nil collector snapshot = %v, want nil", snap)
+	}
+	if c.Emitter() != nil {
+		t.Fatal("nil collector has an emitter")
+	}
+	if got := c.Scope(); got != "" {
+		t.Fatalf("nil collector scope = %q", got)
+	}
+}
+
+func TestSnapshotSortedAndTyped(t *testing.T) {
+	c := New()
+	var n uint64 = 41
+	c.RegisterCounter("z.count", func() uint64 { return n })
+	c.RegisterGauge("a.gauge", func() float64 { return 2.5 })
+	h := stats.NewHistogram(3)
+	h.Observe(1)
+	h.Observe(7) // overflow
+	c.RegisterHistogram("m.hist", h)
+	var sum stats.Summary
+	sum.Observe(4)
+	sum.Observe(8)
+	c.RegisterSummary("m.sum", &sum)
+	var ts stats.TimeSeries
+	ts.Append(0.5, 16)
+	c.RegisterSeries("m.series", &ts)
+
+	n = 42 // registration is lazy: snapshot must see the update
+	snap := c.Snapshot()
+	names := make([]string, len(snap.Metrics))
+	for i, m := range snap.Metrics {
+		names[i] = m.Name
+	}
+	want := []string{"a.gauge", "m.hist", "m.series", "m.sum", "z.count"}
+	if len(names) != len(want) {
+		t.Fatalf("metric names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("metric names = %v, want %v", names, want)
+		}
+	}
+	if got := snap.Value("z.count"); got != 42 {
+		t.Fatalf("z.count = %v, want 42 (lazy read)", got)
+	}
+	if got := snap.Value("a.gauge"); got != 2.5 {
+		t.Fatalf("a.gauge = %v, want 2.5", got)
+	}
+	m, ok := snap.Get("m.hist")
+	if !ok || m.Kind != KindHistogram || m.Total != 2 || m.Overflow != 1 {
+		t.Fatalf("m.hist = %+v, ok=%v", m, ok)
+	}
+	m, ok = snap.Get("m.sum")
+	if !ok || m.Kind != KindSummary || m.N != 2 || m.Mean != 6 {
+		t.Fatalf("m.sum = %+v, ok=%v", m, ok)
+	}
+	m, ok = snap.Get("m.series")
+	if !ok || m.Kind != KindSeries || len(m.Times) != 1 || m.Values[0] != 16 {
+		t.Fatalf("m.series = %+v, ok=%v", m, ok)
+	}
+	if _, ok := snap.Get("missing"); ok {
+		t.Fatal("Get found a missing metric")
+	}
+}
+
+func TestChildPrefixesAndScope(t *testing.T) {
+	c := New(WithScope("run-a"))
+	cl := c.Child("cluster.3").Child("l1d")
+	cl.RegisterCounter("read_half_miss", func() uint64 { return 7 })
+	snap := c.Snapshot()
+	if got := snap.Value("cluster.3.l1d.read_half_miss"); got != 7 {
+		t.Fatalf("prefixed metric = %v, want 7", got)
+	}
+	if got := cl.Scope(); got != "run-a/cluster.3.l1d" {
+		t.Fatalf("scope = %q", got)
+	}
+}
+
+func TestAbsorbFoldsSnapshots(t *testing.T) {
+	run := New()
+	run.RegisterCounter("sim.ff.jumps", func() uint64 { return 3 })
+	parent := New()
+	parent.Absorb("run.SH-STT.fft", run.Snapshot())
+	snap := parent.Snapshot()
+	if got := snap.Value("run.SH-STT.fft.sim.ff.jumps"); got != 3 {
+		t.Fatalf("absorbed metric = %v, want 3", got)
+	}
+}
+
+func TestEmitterSequencesAndParses(t *testing.T) {
+	var buf bytes.Buffer
+	c := New(WithEvents(&buf), WithScope("t"))
+	c.Emit("run.start", 0, map[string]any{"bench": "fft"})
+	c.Child("cluster.0").Emit("epoch", 1234, map[string]any{"active": 12})
+	c.Emit("run.end", 9999, nil)
+
+	evs, err := ParseEvents(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if evs[1].Scope != "t/cluster.0" || evs[1].Cycle != 1234 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if evs[2].Attrs != nil {
+		t.Fatalf("event 2 attrs = %v, want nil", evs[2].Attrs)
+	}
+}
+
+func TestEmitterStickyError(t *testing.T) {
+	e := NewEmitter(failWriter{})
+	e.Emit(Event{Type: "x"})
+	if e.Err() == nil {
+		t.Fatal("write error not recorded")
+	}
+	e.Emit(Event{Type: "y"}) // suppressed, must not panic
+	if NewEmitter(nil) != nil {
+		t.Fatal("NewEmitter(nil) != nil")
+	}
+	var nilE *Emitter
+	nilE.Emit(Event{})
+	if nilE.Err() != nil {
+		t.Fatal("nil emitter has an error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }
+
+// TestEventGolden pins the JSONL wire schema: one event of every type
+// the simulator emits, byte-compared against testdata/events.golden.jsonl.
+// If this test fails because the schema deliberately changed, regenerate
+// with -update and document the change in DESIGN.md §4c.
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestEventGolden(t *testing.T) {
+	var buf bytes.Buffer
+	c := New(WithEvents(&buf), WithScope("SH-STT-CC.medium.cl16.radix.q400000.trace"))
+	c.Emit("run.start", 0, map[string]any{
+		"config": "SH-STT-CC", "scale": "medium", "cluster_size": 16,
+		"bench": "radix", "seed": int64(1), "quota": uint64(400000),
+	})
+	c.Emit("epoch", 25063, map[string]any{
+		"cluster": 0, "epoch": 4, "active": 12,
+		"instructions": uint64(163840), "time_us": 10.0252,
+	})
+	c.Emit("fault.kill", 20000, map[string]any{"cluster": 1, "core": 3, "delivered": true})
+	c.Child("cluster.2").Emit("fault.stt_retry", 31007, map[string]any{
+		"cluster": 2, "level": "l1d", "retries": 2,
+	})
+	c.Child("cluster.2").Emit("fault.stt_abort", 31012, map[string]any{
+		"cluster": 2, "level": "l1i", "retries": 8,
+	})
+	c.Emit("ff.jump", 48000, map[string]any{
+		"from": uint64(48001), "to": uint64(52097), "skipped": uint64(4096),
+	})
+	c.Emit("run.progress", 0, map[string]any{
+		"key":     "SH-STT|medium|16|fft|150000|false",
+		"started": uint64(2), "completed": uint64(1), "cache_hits": uint64(0),
+	})
+	c.Emit("run.interrupted", 52000, nil)
+	c.Emit("run.deadlock", 52000, nil)
+	c.Emit("run.halted", 52000, nil)
+	c.Emit("run.end", 61234, nil)
+	if err := c.Emitter().Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "events.golden.jsonl")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("event stream schema drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
