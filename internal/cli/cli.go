@@ -43,6 +43,7 @@ type Defaults struct {
 type Common struct {
 	Seed       int64
 	Jobs       int
+	Workers    int
 	Quota      uint64
 	Quiet      bool
 	CPUProfile string
@@ -65,7 +66,8 @@ func (c *Common) Register(fs *flag.FlagSet, d Defaults) {
 		d.Seed = 1
 	}
 	fs.Int64Var(&c.Seed, "seed", d.Seed, "randomness seed")
-	fs.IntVar(&c.Jobs, "jobs", 0, "cap parallelism (0 = all cores)")
+	fs.IntVar(&c.Jobs, "jobs", 0, "cap parallelism across simulations (0 = all cores)")
+	fs.IntVar(&c.Workers, "workers", 1, "parallel cluster workers inside each simulation (results are bit-identical at any value)")
 	fs.Uint64Var(&c.Quota, "quota", d.Quota, "per-thread instruction budget")
 	fs.BoolVar(&c.Quiet, "q", false, "suppress progress output")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -128,6 +130,7 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 	if opts != nil {
 		opts.QuotaInstr = c.Quota
 		opts.Seed = c.Seed
+		opts.Workers = c.Workers
 		opts.Telemetry = c.collector
 		if c.Jobs > 0 {
 			runtime.GOMAXPROCS(c.Jobs)
@@ -145,6 +148,7 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 		}
 		r.FaultSeed = c.Faults.Seed
 		r.Jobs = c.Jobs
+		r.Workers = c.Workers
 		if !c.Quiet {
 			r.Progress = os.Stderr
 		}

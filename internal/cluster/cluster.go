@@ -7,8 +7,12 @@
 //   - private per-core L1s kept coherent by the MESI directory of
 //     package coherence (the baseline designs),
 //
-// plus the cluster-shared L2. A Lower interface connects the cluster to
-// the chip-level L3/DRAM model owned by package sim.
+// plus the cluster-shared L2. L2 misses are buffered as LowerRequest
+// records rather than answered synchronously: the chip-level scheduler
+// in package sim drains them against the shared L3/DRAM in global
+// timestamp order at epoch boundaries and answers each one through
+// FinishLower, which lands the completion events that were reserved at
+// issue time.
 //
 // The cluster also implements the mechanics of dynamic core
 // consolidation (Section III): virtual-to-physical remapping, hardware
@@ -37,12 +41,41 @@ import (
 	"respin/internal/variation"
 )
 
-// Lower is the chip-level memory system below the cluster's L2.
-type Lower interface {
-	// L3Access performs an L3-and-below access starting at cache cycle
-	// `start`, returning the cycle at which the response is available.
-	// Write accesses are writebacks from the L2.
-	L3Access(start uint64, addr uint64, write bool) uint64
+// LowerRequest describes one buffered access to the chip-level memory
+// system below the cluster's L2. The sim-side scheduler merges the
+// per-cluster request streams in (Cycle, cluster-index, issue-order)
+// order — exactly the order a serial chip loop would have presented
+// them to the L3 port — and answers each one via FinishLower.
+type LowerRequest struct {
+	// Cycle is the cluster cycle on which the L2 miss was issued (the
+	// drain's primary sort key).
+	Cycle uint64
+	// Start is the earliest cache cycle the L3 port may begin serving
+	// the request (issue cycle plus L2 occupancy and latency).
+	Start uint64
+	// Addr is the byte address.
+	Addr uint64
+	// Write marks an L2 victim writeback (fire-and-forget: no
+	// completion events depend on its finish time).
+	Write bool
+}
+
+// deferredEvent is a completion event whose heap sequence number was
+// reserved at issue time but whose delivery cycle awaits the L3/DRAM
+// round trip resolved at the next drain.
+type deferredEvent struct {
+	kind  eventKind
+	vcore int
+	fill  fillInfo
+	delta uint64 // extra cycles past the L3 ready time (coherence penalty)
+	seq   uint64
+}
+
+// lowerReq pairs a LowerRequest with the events its answer releases.
+type lowerReq struct {
+	req LowerRequest
+	ev  [2]deferredEvent
+	nev int
 }
 
 // Timing constants (cache cycles) for intra-cluster coherence traffic.
@@ -107,6 +140,12 @@ type event struct {
 	kind  eventKind
 	vcore int
 	fill  fillInfo
+	// chip marks events injected by the chip-level coordinator (barrier
+	// releases). They carry sequence numbers from their own counter and
+	// sort before same-cycle cluster-local events, so their delivery
+	// order cannot depend on how many local events happened to be
+	// scheduled before the coordinator ran.
+	chip bool
 }
 
 type eventHeap []event
@@ -115,6 +154,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].cycle != h[j].cycle {
 		return h[i].cycle < h[j].cycle
+	}
+	if h[i].chip != h[j].chip {
+		return h[i].chip
 	}
 	return h[i].seq < h[j].seq
 }
@@ -207,11 +249,19 @@ type Cluster struct {
 	l2         *mem.Cache
 	l2NextFree uint64
 
-	lower Lower
-	rng   *rand.Rand
-	// faults is the chip-wide injector (nil when nothing is injected);
-	// wrFaults aliases it only for STT-RAM configs, gating the
-	// write-verify-retry draws to the technology that needs them.
+	// pendingLower buffers this cluster's L2-miss traffic until the
+	// chip-level scheduler drains it against the shared L3/DRAM.
+	pendingLower []lowerReq
+	// pendingEvents buffers telemetry emissions made while the cluster
+	// runs on a worker goroutine; the scheduler flushes them in global
+	// order at drain time.
+	pendingEvents []PendingEvent
+
+	rng *rand.Rand
+	// faults is this cluster's private fault-injector stream (a child of
+	// the chip-wide injector, nil when nothing is injected); wrFaults
+	// aliases it only for STT-RAM configs, gating the write-verify-retry
+	// draws to the technology that needs them.
 	faults   *faults.Injector
 	wrFaults *faults.Injector
 	deadCnt  int
@@ -222,6 +272,7 @@ type Cluster struct {
 
 	events   eventHeap
 	eventSeq uint64
+	chipSeq  uint64 // separate sequence space for chip-injected events
 
 	// Post-step completions within the same cycle (private L1 hits).
 	sameCycle []int
@@ -251,8 +302,9 @@ type Params struct {
 	// QuotaInstr is the per-thread instruction budget; the cluster is
 	// done when every virtual core has retired it.
 	QuotaInstr uint64
-	Lower      Lower
-	// Faults is the chip-wide fault injector; nil injects nothing.
+	// Faults is this cluster's fault-injector stream (conventionally a
+	// Derive child of the chip-wide injector, so clusters stepping on
+	// separate workers draw independently); nil injects nothing.
 	Faults *faults.Injector
 	// Telemetry, when enabled, receives this cluster's metric
 	// registrations and events (conventionally the run collector's
@@ -266,9 +318,6 @@ func New(p Params) *Cluster {
 	if len(p.PCores) != n {
 		panic(fmt.Sprintf("cluster: %d core specs for cluster size %d", len(p.PCores), n))
 	}
-	if p.Lower == nil {
-		panic("cluster: nil lower-level memory")
-	}
 	if p.QuotaInstr == 0 {
 		panic("cluster: zero instruction quota")
 	}
@@ -276,7 +325,6 @@ func New(p Params) *Cluster {
 		cfg:    p.Config,
 		chip:   p.Chip,
 		id:     p.ClusterID,
-		lower:  p.Lower,
 		rng:    rand.New(rand.NewSource(p.Seed*31 + int64(p.ClusterID))),
 		quota:  p.QuotaInstr,
 		pcores: make([]pcore, n),
@@ -461,6 +509,82 @@ func (cl *Cluster) schedule(cycle uint64, e event) {
 	e.seq = cl.eventSeq
 	cl.eventSeq++
 	heap.Push(&cl.events, e)
+}
+
+// pushLower buffers one L3-and-below access and reserves heap sequence
+// numbers for the completion events its answer will release — in
+// argument order, exactly where a synchronous lower level would have
+// scheduled them — so the eventual delivery order is independent of
+// when the chip-level drain runs.
+func (cl *Cluster) pushLower(start, addr uint64, write bool, delta uint64, evs ...event) {
+	r := lowerReq{req: LowerRequest{Cycle: cl.now, Start: start, Addr: addr, Write: write}}
+	for _, e := range evs {
+		r.ev[r.nev] = deferredEvent{kind: e.kind, vcore: e.vcore, fill: e.fill, delta: delta, seq: cl.eventSeq}
+		cl.eventSeq++
+		r.nev++
+	}
+	cl.pendingLower = append(cl.pendingLower, r)
+}
+
+// PendingLowerLen returns how many lower-level requests are buffered.
+func (cl *Cluster) PendingLowerLen() int { return len(cl.pendingLower) }
+
+// LowerRequestAt returns buffered request i in issue order.
+func (cl *Cluster) LowerRequestAt(i int) LowerRequest { return cl.pendingLower[i].req }
+
+// FinishLower answers buffered request i: the lower level's data is
+// available at cache cycle ready. The completion events reserved at
+// issue time land on the heap at ready (plus any per-event coherence
+// delta). The conservative lookahead guarantees ready can never fall
+// before the cluster's current cycle; a violation means the epoch was
+// longer than the minimum L3 round trip, so fail loudly.
+func (cl *Cluster) FinishLower(i int, ready uint64) {
+	r := &cl.pendingLower[i]
+	for k := 0; k < r.nev; k++ {
+		d := r.ev[k]
+		cycle := ready + d.delta
+		if cycle < cl.now {
+			panic(fmt.Sprintf("cluster %d: L3 completion at cycle %d behind cluster cycle %d (lookahead bound violated)",
+				cl.id, cycle, cl.now))
+		}
+		heap.Push(&cl.events, event{cycle: cycle, seq: d.seq, kind: d.kind, vcore: d.vcore, fill: d.fill})
+	}
+}
+
+// ResetLower discards the drained request buffer, retaining capacity.
+func (cl *Cluster) ResetLower() { cl.pendingLower = cl.pendingLower[:0] }
+
+// PendingEvent is a telemetry emission buffered while the cluster ran
+// on a worker goroutine; the chip-level scheduler flushes these in
+// global (cycle, cluster) order so the JSONL stream is identical at any
+// worker count.
+type PendingEvent struct {
+	Collector *telemetry.Collector
+	Type      string
+	Cycle     uint64
+	Attrs     map[string]any
+}
+
+// PendingEvents returns the buffered telemetry emissions in issue order.
+func (cl *Cluster) PendingEvents() []PendingEvent { return cl.pendingEvents }
+
+// ResetPendingEvents discards the flushed buffer, retaining capacity.
+func (cl *Cluster) ResetPendingEvents() { cl.pendingEvents = cl.pendingEvents[:0] }
+
+// CanFinishWithin reports whether every unfinished virtual core is
+// within budget instructions of its quota — the scheduler's endgame
+// signal to shrink epochs so the completion cycle is detected exactly.
+func (cl *Cluster) CanFinishWithin(budget uint64) bool {
+	for i := range cl.vcores {
+		vs := &cl.vcores[i]
+		if vs.finished {
+			continue
+		}
+		if r := vs.core.Retired(); r < cl.quota && cl.quota-r > budget {
+			return false
+		}
+	}
+	return true
 }
 
 // shiftEnergy charges one voltage-domain crossing.

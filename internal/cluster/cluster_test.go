@@ -9,23 +9,41 @@ import (
 	"respin/internal/variation"
 )
 
-// fakeLower is a fixed-latency chip-level memory below the L2.
+// fakeLower is a fixed-latency chip-level memory below the L2. It
+// stands in for the sim's epoch drain: after each tick it answers the
+// cluster's buffered requests and lands the reserved completion events.
 type fakeLower struct {
 	latency uint64
 	reads   int
 	writes  int
 }
 
-func (f *fakeLower) L3Access(start uint64, addr uint64, write bool) uint64 {
-	if write {
-		f.writes++
-	} else {
+func (f *fakeLower) drain(cl *Cluster) {
+	for i := 0; i < cl.PendingLowerLen(); i++ {
+		r := cl.LowerRequestAt(i)
+		if r.Write {
+			f.writes++
+			continue
+		}
 		f.reads++
+		cl.FinishLower(i, r.Start+f.latency)
 	}
-	return start + f.latency
+	cl.ResetLower()
 }
 
-func buildCluster(t *testing.T, kind config.ArchKind, bench string, quota uint64) (*Cluster, *fakeLower) {
+// testCluster drains the buffered L3 traffic after every tick, so test
+// loops written against the old synchronous interface keep working.
+type testCluster struct {
+	*Cluster
+	lower *fakeLower
+}
+
+func (tc *testCluster) Tick() {
+	tc.Cluster.Tick()
+	tc.lower.drain(tc.Cluster)
+}
+
+func buildCluster(t *testing.T, kind config.ArchKind, bench string, quota uint64) (*testCluster, *fakeLower) {
 	t.Helper()
 	cfg := config.New(kind, config.Medium)
 	vm := variation.Generate(cfg.VariationSeed, 8, 8, config.CoreNTVdd, variation.DefaultParams())
@@ -38,14 +56,13 @@ func buildCluster(t *testing.T, kind config.ArchKind, bench string, quota uint64
 		Bench:      trace.MustByName(bench),
 		Seed:       1,
 		QuotaInstr: quota,
-		Lower:      lower,
 	})
-	return cl, lower
+	return &testCluster{Cluster: cl, lower: lower}, lower
 }
 
 // runToCompletion drives the cluster like the sim does, coordinating the
 // (cluster-local here) barrier. Returns cycles taken.
-func runToCompletion(t *testing.T, cl *Cluster, maxCycles uint64) uint64 {
+func runToCompletion(t *testing.T, cl *testCluster, maxCycles uint64) uint64 {
 	t.Helper()
 	for cl.Now() < maxCycles {
 		if cl.Done() {
@@ -311,7 +328,6 @@ func TestConstructionPanics(t *testing.T) {
 	base := Params{
 		Config: cfg, Chip: chip, PCores: vm.ClusterCores(0, 16),
 		Bench: trace.MustByName("fft"), Seed: 1, QuotaInstr: 1000,
-		Lower: &fakeLower{latency: 10},
 	}
 	mustPanic := func(name string, p Params) {
 		t.Helper()
@@ -325,9 +341,6 @@ func TestConstructionPanics(t *testing.T) {
 	bad := base
 	bad.PCores = vm.ClusterCores(0, 8)
 	mustPanic("wrong pcore count", bad)
-	bad = base
-	bad.Lower = nil
-	mustPanic("nil lower", bad)
 	bad = base
 	bad.QuotaInstr = 0
 	mustPanic("zero quota", bad)

@@ -5,6 +5,7 @@ import (
 
 	"respin/internal/config"
 	"respin/internal/cpu"
+	"respin/internal/sharedcache"
 )
 
 // NeverWake is the NextWake value of a cluster with no future work of its
@@ -87,15 +88,22 @@ func (cl *Cluster) NextWake() (wake uint64, ok bool) {
 	return wake, true
 }
 
-// SkipTo fast-forwards the cluster from cl.now to target, replaying the
-// idle bookkeeping each skipped Tick would have performed. Callers must
-// have established via NextWake that no cycle in [cl.now, target) does
-// anything beyond that bookkeeping.
-func (cl *Cluster) SkipTo(target uint64) {
+// TrySkipTo fast-forwards the cluster from cl.now to target, replaying
+// the idle bookkeeping each skipped Tick would have performed. Callers
+// must have established via NextWake that no cycle in [cl.now, target)
+// does anything beyond that bookkeeping; a non-idle shared-L1
+// controller returns sharedcache.ErrNotIdle (wrapped) before any state
+// is mutated, so the caller can fall back to slow-path ticking.
+func (cl *Cluster) TrySkipTo(target uint64) error {
 	if target <= cl.now {
-		return
+		return nil
 	}
 	if cl.cfg.L1 == config.SharedL1 {
+		// Probe both controllers before advancing either: a half-applied
+		// skip would leave their cycle counters disagreeing.
+		if !cl.ctrlI.Idle() || !cl.ctrlD.Idle() {
+			return fmt.Errorf("cluster %d: skip to %d: %w", cl.id, target, sharedcache.ErrNotIdle)
+		}
 		k := target - cl.now
 		cl.ctrlI.SkipIdle(k)
 		cl.ctrlD.SkipIdle(k)
@@ -131,6 +139,16 @@ func (cl *Cluster) SkipTo(target uint64) {
 		}
 	}
 	cl.now = target
+	return nil
+}
+
+// SkipTo is TrySkipTo for callers that have already proven idleness via
+// NextWake on the same cycle; an unexpected non-idle controller is a
+// caller bug and panics.
+func (cl *Cluster) SkipTo(target uint64) {
+	if err := cl.TrySkipTo(target); err != nil {
+		panic(err.Error())
+	}
 }
 
 // edgeAtOrAfter returns the first clock edge (cycle divisible by mult)

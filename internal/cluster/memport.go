@@ -56,9 +56,9 @@ func (mp *memPort) IssueLoad(v int, addr uint64) bool {
 		cl.sameCycle = append(cl.sameCycle, v)
 		return true
 	}
-	ready := cl.privateMissReady(addr, out.SourcedFromCore >= 0, out.Invalidations, out.NeedsL2)
+	cl.privateMissReady(addr, out.SourcedFromCore >= 0, out.Invalidations, out.NeedsL2,
+		event{kind: evCompleteLoad, vcore: v})
 	cl.chargeCoherence(out.Invalidations, out.WritebacksToL2, out.SourcedFromCore >= 0)
-	cl.schedule(ready, event{kind: evCompleteLoad, vcore: v})
 	vs.loadPending = true
 	vs.loadAddr = addr
 	vs.loadIssued = cl.now
@@ -90,9 +90,9 @@ func (mp *memPort) IssueStore(v int, addr uint64) bool {
 	out := cl.dir.Write(p, addr)
 	cl.chargeL1D(true)
 	if !out.L1Hit {
-		ready := cl.privateMissReady(addr, out.SourcedFromCore >= 0, out.Invalidations, out.NeedsL2)
+		cl.privateMissReady(addr, out.SourcedFromCore >= 0, out.Invalidations, out.NeedsL2,
+			event{kind: evReleaseStore, vcore: p})
 		cl.privStoreMiss[p]++
-		cl.schedule(ready, event{kind: evReleaseStore, vcore: p})
 	}
 	cl.chargeCoherence(out.Invalidations, out.WritebacksToL2, out.DirtyForward)
 	return true
@@ -124,26 +124,24 @@ func (mp *memPort) IssueIFetch(v int, addr uint64) bool {
 		cl.schedule(cl.now+1, event{kind: evCompleteFetch, vcore: v})
 		return true
 	}
-	ready := cl.l2Access(cl.now, addr, false)
+	cl.l2Access(cl.now, addr, false, 0, event{kind: evCompleteFetch, vcore: v})
 	cl.privI[p].Fill(addr, false)
 	cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L1IWrite)
-	cl.schedule(ready, event{kind: evCompleteFetch, vcore: v})
 	return true
 }
 
-// privateMissReady computes when a private-L1 miss's data arrives and
-// performs the L2-side bookkeeping. sourced indicates a cache-to-cache
-// forward within the cluster.
-func (cl *Cluster) privateMissReady(addr uint64, sourced bool, invalidations int, needsL2 bool) uint64 {
+// privateMissReady arranges for ev to fire when a private-L1 miss's
+// data arrives and performs the L2-side bookkeeping. sourced indicates
+// a cache-to-cache forward within the cluster.
+func (cl *Cluster) privateMissReady(addr uint64, sourced bool, invalidations int, needsL2 bool, ev event) {
 	penalty := uint64(invalidations) * invalidationCycles
-	if sourced {
-		return cl.now + c2cTransferCycles + penalty
+	if !sourced && needsL2 {
+		cl.l2Access(cl.now, addr, false, penalty, ev)
+		return
 	}
-	if needsL2 {
-		return cl.l2Access(cl.now, addr, false) + penalty
-	}
-	// Clean copy was forwarded by a sharer.
-	return cl.now + c2cTransferCycles + penalty
+	// Cache-to-cache forward within the cluster (dirty owner or clean
+	// sharer).
+	cl.schedule(cl.now+c2cTransferCycles+penalty, ev)
 }
 
 // chargeL1D accounts one private L1D access (array + level shifting).
@@ -179,9 +177,12 @@ func (cl *Cluster) chargeCoherence(invalidations, writebacks int, forwarded bool
 }
 
 // l2Access performs an L2 lookup starting no earlier than `start`,
-// modelling port occupancy, and returns the cycle at which data is
-// available (possibly after an L3/DRAM round trip).
-func (cl *Cluster) l2Access(start uint64, addr uint64, write bool) uint64 {
+// modelling port occupancy. The completion events in evs fire when the
+// data is available, delta cycles after the access resolves: scheduled
+// immediately on an L2 hit, or reserved against the buffered L3 request
+// on a miss (the chip-level drain lands them once the shared port
+// timeline resolves the round trip).
+func (cl *Cluster) l2Access(start uint64, addr uint64, write bool, delta uint64, evs ...event) {
 	if start < cl.l2NextFree {
 		start = cl.l2NextFree
 	}
@@ -202,11 +203,15 @@ func (cl *Cluster) l2Access(start uint64, addr uint64, write bool) uint64 {
 	}
 	res := cl.l2.Access(addr, write)
 	if res.Hit {
-		return start + uint64(lat) + retryCycles
+		ready := start + uint64(lat) + retryCycles + delta
+		for _, ev := range evs {
+			cl.schedule(ready, ev)
+		}
+		return
 	}
-	// L2 miss: go below, then fill the L2.
+	// L2 miss: buffer the request below, then fill the L2.
 	cl.Stats.L3Accesses++
-	ready := cl.lower.L3Access(start+uint64(lat), addr, false)
+	cl.pushLower(start+uint64(lat), addr, false, delta, evs...)
 	fill := cl.l2.Fill(addr, write)
 	cl.Meter.AddPJ(power.CacheDynamic, e.L2Write)
 	// The fill's array write retries off the requester's critical path
@@ -214,12 +219,11 @@ func (cl *Cluster) l2Access(start uint64, addr uint64, write bool) uint64 {
 	cl.l2NextFree += cl.l2WriteRetries()
 	if fill.Writeback {
 		// The victim writeback occupies the L3 port around the time the
-		// miss is processed; reserving it at the far-future fill time
+		// miss is processed; buffering it at the far-future fill time
 		// would spuriously serialise later demand misses behind it (the
 		// port timeline assumes near-monotonic reservation starts).
-		cl.lower.L3Access(start+uint64(lat), fill.EvictedAddr, true)
+		cl.pushLower(start+uint64(lat), fill.EvictedAddr, true, 0)
 	}
-	return ready
 }
 
 // l2Writeback pushes a dirty L1 line to the L2 (occupancy + energy; not
@@ -236,7 +240,7 @@ func (cl *Cluster) l2Writeback(addr uint64) {
 	if !res.Hit {
 		fill := cl.l2.Fill(addr, true)
 		if fill.Writeback {
-			cl.lower.L3Access(start, fill.EvictedAddr, true)
+			cl.pushLower(start, fill.EvictedAddr, true, 0)
 		}
 	}
 }

@@ -140,9 +140,9 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 			}
 			return
 		}
-		ready := cl.l2Access(cl.now, addr, false)
-		cl.schedule(ready, event{kind: evCompleteLoad, vcore: v})
-		cl.schedule(ready, event{kind: evSubmitFill, fill: fillInfo{addr: addr}})
+		cl.l2Access(cl.now, addr, false, 0,
+			event{kind: evCompleteLoad, vcore: v},
+			event{kind: evSubmitFill, fill: fillInfo{addr: addr}})
 	case tagStore:
 		addr := tagAddr(s.Req.Tag)
 		cl.Meter.AddPJ(power.CacheDynamic, e.L1DWrite)
@@ -151,18 +151,18 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 			// Write-allocate: fetch the line, then install it dirty.
 			// The store keeps its buffer slot until the allocate
 			// completes, throttling miss streams to the buffer depth.
-			ready := cl.l2Access(cl.now, addr, false)
-			cl.schedule(ready, event{kind: evSubmitFill, fill: fillInfo{addr: addr, dirty: true}})
+			cl.l2Access(cl.now, addr, false, 0,
+				event{kind: evSubmitFill, fill: fillInfo{addr: addr, dirty: true}},
+				event{kind: evReleaseStore, vcore: s.Req.Core})
 			cl.ctrlD.HoldStore(s.Req.Core)
-			cl.schedule(ready, event{kind: evReleaseStore, vcore: s.Req.Core})
 		}
 	case tagSpin:
 		addr := tagAddr(s.Req.Tag)
 		cl.Meter.AddPJ(power.CacheDynamic, e.L1DRead)
 		res := cl.sharedL1D.Access(addr, false)
 		if !res.Hit {
-			ready := cl.l2Access(cl.now, addr, false)
-			cl.schedule(ready, event{kind: evSubmitFill, fill: fillInfo{addr: addr}})
+			cl.l2Access(cl.now, addr, false, 0,
+				event{kind: evSubmitFill, fill: fillInfo{addr: addr}})
 		}
 	case tagFill:
 		id := tagAddr(s.Req.Tag)
@@ -201,9 +201,9 @@ func (cl *Cluster) serviceI(s sharedcache.Serviced) {
 			}
 			return
 		}
-		ready := cl.l2Access(cl.now, addr, false)
-		cl.schedule(ready, event{kind: evCompleteFetch, vcore: v})
-		cl.schedule(ready, event{kind: evSubmitFill, fill: fillInfo{addr: addr, icache: true}})
+		cl.l2Access(cl.now, addr, false, 0,
+			event{kind: evCompleteFetch, vcore: v},
+			event{kind: evSubmitFill, fill: fillInfo{addr: addr, icache: true}})
 	case tagFill:
 		id := tagAddr(s.Req.Tag)
 		f := cl.fills[id]
@@ -404,9 +404,20 @@ func (cl *Cluster) tickQuantum(i int) {
 
 // ScheduleBarrierRelease arranges for this cluster's parked virtual
 // cores to resume at the given cache cycle (the chip-level barrier
-// coordinator accounts for cross-cluster release propagation).
+// coordinator accounts for cross-cluster release propagation). The
+/// event lives in the chip band of the heap: its order against
+// same-cycle cluster-local events is fixed by construction, not by how
+// many local sequence numbers were consumed before the coordinator
+// observed the barrier — which depends on when the chip loop runs.
+// cycle == cl.now is legitimate (a release landing exactly on an epoch
+// boundary) and is delivered by the next Tick.
 func (cl *Cluster) ScheduleBarrierRelease(cycle uint64) {
-	cl.schedule(cycle, event{kind: evReleaseBarrier})
+	if cycle < cl.now {
+		cycle = cl.now
+	}
+	e := event{cycle: cycle, seq: cl.chipSeq, kind: evReleaseBarrier, chip: true}
+	cl.chipSeq++
+	heap.Push(&cl.events, e)
 }
 
 // releaseLocalBarrier resumes every parked virtual core. In the private

@@ -50,8 +50,15 @@ type Runner struct {
 	// discarding completed sections.
 	Ctx context.Context
 	// Jobs bounds how many simulations run concurrently. Zero selects
-	// GOMAXPROCS; one reproduces the serial runner.
+	// GOMAXPROCS (divided by Workers when intra-run parallelism is on);
+	// one reproduces the serial runner.
 	Jobs int
+	// Workers is the intra-simulation worker count handed to every run
+	// (sim.Options.Workers). Zero selects 1. Results are bit-identical
+	// at any value; the knob trades run-level for cluster-level
+	// parallelism — useful when the run set is narrow (few jobs to fill
+	// the machine) but each simulation is wide.
+	Workers int
 	// Telemetry, when non-nil, receives runner-level metrics
 	// (runs started/completed, singleflight cache hits), one
 	// run.progress event per completed simulation, and — absorbed under
@@ -156,6 +163,21 @@ func QuickRunner() *Runner {
 func (r *Runner) Normalize() error {
 	if r.Jobs < 0 {
 		return fmt.Errorf("experiments: negative job count %d", r.Jobs)
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("experiments: negative worker count %d", r.Workers)
+	}
+	if r.Workers == 0 {
+		r.Workers = 1
+	}
+	if r.Jobs == 0 && r.Workers > 1 {
+		// Core budget: the pool runs Jobs simulations of Workers
+		// goroutines each, so auto-sized Jobs targets Jobs x Workers ~
+		// GOMAXPROCS instead of oversubscribing by the worker factor.
+		// An explicit Jobs is honoured as given — deliberate
+		// oversubscription is sometimes right (workers idle at drain
+		// barriers), but it is the user's call, not the default.
+		r.Jobs = max(1, runtime.GOMAXPROCS(0)/r.Workers)
 	}
 	if r.Quota == 0 {
 		r.Quota = 150_000
@@ -362,6 +384,7 @@ func runLabel(cfg config.Config, bench string, quota uint64, epochTrace bool) st
 // its final snapshot is absorbed into the runner's collector under
 // "run.<label>." once the run completes.
 func (r *Runner) runLabeled(label string, cfg config.Config, bench string, opts sim.Options) (sim.Result, error) {
+	opts.Workers = r.Workers
 	if r.Telemetry.Enabled() {
 		opts.Telemetry = telemetry.New(
 			telemetry.WithEmitter(r.Telemetry.Emitter()),

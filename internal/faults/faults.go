@@ -152,6 +152,13 @@ func (c Counts) Any() bool { return c != Counts{} }
 // Injector is the chip-wide fault source. A nil *Injector is valid and
 // injects nothing — every method is nil-receiver safe — so fault-free
 // runs pay a single pointer test per hook.
+//
+// For parallel cluster stepping the chip injector acts as the root of a
+// small tree: Derive hands each cluster a child injector with RNG
+// streams of its own, so concurrent clusters never contend on (or
+// reorder draws from) a shared stream, and a cluster's draw sequence
+// depends only on its own event order. Snapshot, Uncorrectable and the
+// telemetry counters aggregate over the whole tree.
 type Injector struct {
 	p    Params
 	stt  *rand.Rand
@@ -161,6 +168,9 @@ type Injector struct {
 	noFlip  float64
 	wordLen int
 	kills   []KillSpec // sorted by cycle
+	// children are the injectors handed out by Derive; the root
+	// aggregates their counts. Only the root has children or kills.
+	children []*Injector
 
 	Counts Counts
 }
@@ -184,6 +194,49 @@ func New(p Params) *Injector {
 	in.kills = append(in.kills, p.Kills...)
 	sort.SliceStable(in.kills, func(i, j int) bool { return in.kills[i].Cycle < in.kills[j].Cycle })
 	return in
+}
+
+// Derive builds a child injector for one concurrently-stepped unit
+// (conventionally a cluster, salted by its id). The child shares the
+// parent's rates and ECC geometry but owns independent RNG streams
+// seeded from (fault seed, salt), so its draw sequence is a pure
+// function of its own event order — unaffected by how other units
+// interleave. Children carry no kill schedule (kills are delivered by
+// the chip scheduler through the root) and must not be Derived from
+// again. A nil receiver derives nil, keeping the zero-rate fast path.
+func (in *Injector) Derive(salt int64) *Injector {
+	if in == nil {
+		return nil
+	}
+	child := &Injector{
+		p: in.p,
+		// Distinct large odd multipliers keep sibling streams (and the
+		// root's) from colliding for any (seed, salt) pair in practice.
+		stt:     rand.New(rand.NewSource(in.p.Seed*61 + sttStreamSalt + (salt+1)*1_000_003)),
+		sram:    rand.New(rand.NewSource(in.p.Seed*67 + sramStreamSalt + (salt+1)*7_368_787)),
+		noFlip:  in.noFlip,
+		wordLen: in.wordLen,
+	}
+	in.children = append(in.children, child)
+	return child
+}
+
+// aggregate sums the receiver's counts with every derived child's.
+func (in *Injector) aggregate() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	c := in.Counts
+	for _, ch := range in.children {
+		c.STTWriteFailures += ch.Counts.STTWriteFailures
+		c.STTWriteRetries += ch.Counts.STTWriteRetries
+		c.STTWriteAborts += ch.Counts.STTWriteAborts
+		c.SRAMReadFlips += ch.Counts.SRAMReadFlips
+		c.SRAMCorrected += ch.Counts.SRAMCorrected
+		c.SRAMUncorrectable += ch.Counts.SRAMUncorrectable
+		c.CoreKills += ch.Counts.CoreKills
+	}
+	return c
 }
 
 // Params returns the resolved parameters (zero value for a nil injector).
@@ -301,9 +354,21 @@ func (in *Injector) HaltOnUncorrectable() bool {
 	return in != nil && in.p.HaltOnUncorrectable
 }
 
-// Uncorrectable reports whether any uncorrectable word was read.
+// Uncorrectable reports whether any uncorrectable word was read by this
+// injector or any derived child.
 func (in *Injector) Uncorrectable() bool {
-	return in != nil && in.Counts.SRAMUncorrectable > 0
+	if in == nil {
+		return false
+	}
+	if in.Counts.SRAMUncorrectable > 0 {
+		return true
+	}
+	for _, ch := range in.children {
+		if ch.Counts.SRAMUncorrectable > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // NextKill returns the earliest scheduled kill not yet delivered, if any.
@@ -340,21 +405,19 @@ func (in *Injector) AttachTelemetry(c *telemetry.Collector) {
 	if in == nil || !c.Enabled() {
 		return
 	}
-	c.RegisterCounter("stt_write_failures", func() uint64 { return in.Counts.STTWriteFailures })
-	c.RegisterCounter("stt_write_retries", func() uint64 { return in.Counts.STTWriteRetries })
-	c.RegisterCounter("stt_write_aborts", func() uint64 { return in.Counts.STTWriteAborts })
-	c.RegisterCounter("sram_read_flips", func() uint64 { return in.Counts.SRAMReadFlips })
-	c.RegisterCounter("sram_corrected", func() uint64 { return in.Counts.SRAMCorrected })
-	c.RegisterCounter("sram_uncorrectable", func() uint64 { return in.Counts.SRAMUncorrectable })
-	c.RegisterCounter("core_kills", func() uint64 { return in.Counts.CoreKills })
+	c.RegisterCounter("stt_write_failures", func() uint64 { return in.aggregate().STTWriteFailures })
+	c.RegisterCounter("stt_write_retries", func() uint64 { return in.aggregate().STTWriteRetries })
+	c.RegisterCounter("stt_write_aborts", func() uint64 { return in.aggregate().STTWriteAborts })
+	c.RegisterCounter("sram_read_flips", func() uint64 { return in.aggregate().SRAMReadFlips })
+	c.RegisterCounter("sram_corrected", func() uint64 { return in.aggregate().SRAMCorrected })
+	c.RegisterCounter("sram_uncorrectable", func() uint64 { return in.aggregate().SRAMUncorrectable })
+	c.RegisterCounter("core_kills", func() uint64 { return in.aggregate().CoreKills })
 }
 
-// Snapshot returns the event counts (zero value for a nil injector).
+// Snapshot returns the event counts, derived children included (zero
+// value for a nil injector).
 func (in *Injector) Snapshot() Counts {
-	if in == nil {
-		return Counts{}
-	}
-	return in.Counts
+	return in.aggregate()
 }
 
 // KillFirstN builds a kill schedule that kills cores 0..n-1 of every

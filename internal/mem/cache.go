@@ -5,7 +5,8 @@
 //
 // Addresses are byte addresses; each cache derives its own block and set
 // decomposition from its config.CacheParams. Set counts need not be
-// powers of two (the 48 MB L3 has 3x2^k sets); indexing uses modulo.
+// powers of two (the 48 MB L3 has 3x2^k sets); indexing masks when the
+// set count is a power of two and falls back to modulo otherwise.
 package mem
 
 import (
@@ -77,10 +78,15 @@ func (s *Stats) MissRate() float64 {
 
 // Cache is a set-associative tag array with true LRU replacement.
 type Cache struct {
-	params     config.CacheParams
-	sets       []way // numSets * assoc, laid out set-major
-	assoc      int
+	params config.CacheParams
+	sets   []way // numSets * assoc, laid out set-major
+	assoc  int
 	numSets    uint64
+	// setMask strength-reduces the set-index modulo to a mask when the
+	// set count is a power of two (every L1/L2 geometry); maskable gates
+	// it because the 48 MB L3 has 3x2^k sets and must keep the modulo.
+	setMask    uint64
+	maskable   bool
 	blockShift uint
 	tick       uint64
 	faults     *faults.Injector
@@ -100,13 +106,18 @@ func NewCache(p config.CacheParams) *Cache {
 		panic(fmt.Sprintf("mem: block size %d not a power of two", p.BlockBytes))
 	}
 	sets := p.Sets()
-	return &Cache{
+	c := &Cache{
 		params:     p,
 		sets:       make([]way, sets*p.Assoc),
 		assoc:      p.Assoc,
 		numSets:    uint64(sets),
 		blockShift: shift,
 	}
+	if c.numSets&(c.numSets-1) == 0 {
+		c.maskable = true
+		c.setMask = c.numSets - 1
+	}
+	return c
 }
 
 // Params returns the cache geometry.
@@ -121,7 +132,12 @@ func (c *Cache) AttachFaults(in *faults.Injector) { c.faults = in }
 func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift }
 
 // setIndex maps a block address to its set.
-func (c *Cache) setIndex(block uint64) uint64 { return block % c.numSets }
+func (c *Cache) setIndex(block uint64) uint64 {
+	if c.maskable {
+		return block & c.setMask
+	}
+	return block % c.numSets
+}
 
 // find returns the way slice of the set and the index of the block
 // within it, or -1.

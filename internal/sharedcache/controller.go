@@ -25,6 +25,7 @@
 package sharedcache
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -300,15 +301,32 @@ func (c *Controller) Idle() bool {
 	return c.activeReads == 0 && len(c.writeQueue) == 0 && c.pendingN == 0
 }
 
-// SkipIdle replays k idle Tick calls at once: the cycle counter advances
-// by k and the Figure 10 arrival histogram records k empty cycles. The
-// controller must be Idle; results are bit-identical to ticking k times.
-func (c *Controller) SkipIdle(k uint64) {
+// ErrNotIdle is returned by TrySkipIdle when the controller still holds
+// request state (active reads, queued writes, or in-transit requests)
+// and therefore cannot be fast-forwarded.
+var ErrNotIdle = errors.New("sharedcache: controller not idle")
+
+// TrySkipIdle replays k idle Tick calls at once: the cycle counter
+// advances by k and the Figure 10 arrival histogram records k empty
+// cycles — bit-identical to ticking k times. A non-idle controller is
+// left untouched and ErrNotIdle is returned, so a mis-sized
+// fast-forward can degrade to slow-path ticking instead of crashing.
+func (c *Controller) TrySkipIdle(k uint64) error {
 	if !c.Idle() {
-		panic("sharedcache: SkipIdle on a non-idle controller")
+		return ErrNotIdle
 	}
 	c.cycle += k
 	c.Stats.ArrivalsPerCycle.ObserveN(0, k)
+	return nil
+}
+
+// SkipIdle is TrySkipIdle for callers that have already established
+// idleness via Idle; skipping a non-idle controller is a programming
+// error and panics.
+func (c *Controller) SkipIdle(k uint64) {
+	if err := c.TrySkipIdle(k); err != nil {
+		panic("sharedcache: SkipIdle on a non-idle controller")
+	}
 }
 
 // Tick advances one cache cycle: one read and one write are serviced,

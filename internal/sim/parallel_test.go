@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"respin/internal/config"
+	"respin/internal/faults"
+	"respin/internal/telemetry"
+)
+
+// runW executes one simulation with the given worker count. optsFn
+// builds the options fresh per run (fault kill schedules are consumed
+// by the injector, so they must not be shared between runs).
+func runW(t *testing.T, cfg config.Config, bench string, workers int, optsFn func() Options) Result {
+	t.Helper()
+	opts := optsFn()
+	opts.Workers = workers
+	r, err := Run(cfg, bench, opts)
+	if err != nil {
+		t.Fatalf("run %v/%s workers=%d: %v", cfg.Kind, bench, workers, err)
+	}
+	return r
+}
+
+// TestIntraParallelEquivalence is the contract behind Options.Workers:
+// the parallel epoch scheduler must produce a bit-identical Result for
+// workers=1 and workers=N, on every Table IV configuration and on the
+// paths with extra cross-cluster coupling — fault injection (write
+// retries, core kills, SRAM flips), the cycle-exact slow path, and
+// consolidation. Workers only change which goroutine steps a cluster;
+// every shared effect is buffered or replayed in a deterministic global
+// order at epoch boundaries.
+func TestIntraParallelEquivalence(t *testing.T) {
+	t.Parallel()
+	for _, kind := range config.AllArchKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := config.New(kind, config.Medium)
+			mk := func() Options {
+				return Options{QuotaInstr: 12_000, Seed: 1, EpochTrace: true}
+			}
+			base := runW(t, cfg, "fft", 1, mk)
+			got := runW(t, cfg, "fft", 4, mk)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("workers=4 diverged from workers=1\nbase: %+v\ngot:  %+v", base, got)
+			}
+		})
+	}
+
+	cases := []struct {
+		name    string
+		kind    config.ArchKind
+		bench   string
+		workers int
+		optsFn  func() Options
+	}{
+		{"stt-write-fail", config.SHSTT, "radix", 4, func() Options {
+			return Options{QuotaInstr: 12_000, Seed: 1,
+				Faults: faults.Params{Seed: 1, STTWriteFailProb: 1e-3}}
+		}},
+		{"core-kills", config.SHSTTCC, "radix", 4, func() Options {
+			return Options{QuotaInstr: 12_000, Seed: 1, EpochTrace: true,
+				Faults: faults.Params{Seed: 1, Kills: faults.KillFirstN(4, 2, 5_000)}}
+		}},
+		{"sram-flips-ecc", config.PRSRAMNT, "fft", 4, func() Options {
+			return Options{QuotaInstr: 12_000, Seed: 1,
+				Faults: faults.Params{Seed: 3, SRAMBitFlipPerCell: 1e-4}}
+		}},
+		{"no-fast-forward", config.SHSTTCC, "radix", 4, func() Options {
+			return Options{QuotaInstr: 12_000, Seed: 1, DisableFastForward: true}
+		}},
+		// Worker counts that do not divide the cluster count shard
+		// unevenly; the merge order must not care.
+		{"odd-workers", config.SHSTT, "lu", 3, func() Options {
+			return Options{QuotaInstr: 12_000, Seed: 2}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := config.New(tc.kind, config.Medium)
+			base := runW(t, cfg, tc.bench, 1, tc.optsFn)
+			got := runW(t, cfg, tc.bench, tc.workers, tc.optsFn)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("workers=%d diverged from workers=1\nbase: %+v\ngot:  %+v",
+					tc.workers, base, got)
+			}
+		})
+	}
+}
+
+// TestIntraParallelTelemetryIdentical extends the equivalence to the
+// observability surface: the metric snapshot (including the scheduler's
+// own epoch/drain counters) and the byte-exact JSONL event stream must
+// not depend on the worker count — buffered events are flushed in
+// (cycle, phase, cluster, order) at each drain regardless of which
+// goroutine produced them.
+func TestIntraParallelTelemetryIdentical(t *testing.T) {
+	t.Parallel()
+	cfg := config.New(config.SHSTTCC, config.Medium)
+	run := func(workers int) (Result, []byte) {
+		var buf bytes.Buffer
+		opts := Options{
+			QuotaInstr: 12_000, Seed: 1, EpochTrace: true, Workers: workers,
+			Faults:    faults.Params{Seed: 1, STTWriteFailProb: 1e-3},
+			Telemetry: telemetry.New(telemetry.WithEvents(&buf)),
+		}
+		r, err := Run(cfg, "radix", opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r, buf.Bytes()
+	}
+	base, baseEvs := run(1)
+	got, gotEvs := run(4)
+	if !reflect.DeepEqual(base, got) {
+		t.Fatal("telemetered results diverged between worker counts")
+	}
+	if !bytes.Equal(baseEvs, gotEvs) {
+		t.Fatalf("event streams diverged between worker counts:\nworkers=1: %d bytes\nworkers=4: %d bytes",
+			len(baseEvs), len(gotEvs))
+	}
+}
+
+// TestEpochLengthInvariance is the property test behind
+// Options.EpochCycles: the Result must be identical for every epoch
+// length from 1 up to the lookahead bound (randomly sampled), at any
+// worker count. Only the scheduler's internal pacing — epoch counters,
+// fast-forward split between cluster-local and chip-level jumps — may
+// vary, and none of that is visible in the Result.
+func TestEpochLengthInvariance(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		kind   config.ArchKind
+		bench  string
+		optsFn func() Options
+	}{
+		{config.SHSTT, "radix", func() Options {
+			return Options{QuotaInstr: 12_000, Seed: 3}
+		}},
+		{config.SHSTTCC, "fft", func() Options {
+			return Options{QuotaInstr: 12_000, Seed: 1, EpochTrace: true,
+				Faults: faults.Params{Seed: 2, STTWriteFailProb: 1e-3}}
+		}},
+	} {
+		cfg := config.New(tc.kind, config.Medium)
+		base := func() Options {
+			o := tc.optsFn()
+			o.EpochCycles = 1
+			return o
+		}
+		ref := runW(t, cfg, tc.bench, 1, base)
+		for trial := 0; trial < 3; trial++ {
+			k := uint64(1 + rng.Intn(40)) // clamped to the lookahead internally
+			workers := 1 + rng.Intn(4)
+			got := runW(t, cfg, tc.bench, workers, func() Options {
+				o := tc.optsFn()
+				o.EpochCycles = k
+				return o
+			})
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("%v/%s: K=%d workers=%d diverged from K=1\nref: %+v\ngot: %+v",
+					tc.kind, tc.bench, k, workers, ref, got)
+			}
+		}
+	}
+}

@@ -62,6 +62,19 @@ type Options struct {
 	// observes, it never draws randomness or alters timing (the
 	// determinism test enforces this).
 	Telemetry *telemetry.Collector
+	// Workers is the number of goroutines stepping clusters inside this
+	// one simulation. Zero selects 1 (serial). Results are bit-identical
+	// for every worker count — the equivalence test enforces it — so
+	// this is purely a wall-clock knob; it composes with the experiment
+	// runner's job-level parallelism (Jobs x Workers is budgeted against
+	// GOMAXPROCS by experiments.Runner.Normalize).
+	Workers int
+	// EpochCycles caps the lookahead epoch length (cycles per parallel
+	// step). Zero selects the maximum sound value: the minimum L3 round
+	// trip, itself capped by the barrier release propagation delay.
+	// Values above that cap are clamped down; the knob exists for the
+	// epoch-length invariance tests and for debugging.
+	EpochCycles uint64
 }
 
 // DefaultQuota is the default per-thread instruction budget.
@@ -92,6 +105,12 @@ func (o *Options) Normalize() error {
 	}
 	if o.Faults.MaxWriteRetries < 0 {
 		return fmt.Errorf("sim: negative fault write-retry budget %d", o.Faults.MaxWriteRetries)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d", o.Workers)
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
 	}
 	return nil
 }
@@ -148,15 +167,12 @@ func (r Result) IPC() float64 {
 
 // Sim is one configured chip instance.
 type Sim struct {
-	cfg     config.Config
-	chip    *power.Chip
-	opts    Options
-	bench   trace.Profile
-	clus    []*cluster.Cluster
-	mgrs    []consolidation.Manager
-	lastMtr []power.Meter
-	lastCyc []uint64
-	lastOS  []uint64 // last OS-epoch boundary per cluster (cycles)
+	cfg   config.Config
+	chip  *power.Chip
+	opts  Options
+	bench trace.Profile
+	clus  []*cluster.Cluster
+	crs   []*clusterRunner
 
 	l3         *mem.Cache
 	l3NextFree uint64
@@ -164,13 +180,25 @@ type Sim struct {
 	l3Meter    power.Meter
 	faults     *faults.Injector
 
-	epochSeen int
 	trace     stats.TimeSeries
 	activeSum stats.Summary
-	epochIdx  []int
+
+	// Epoch scheduler state (see epoch.go). lookahead is the epoch
+	// length K; the chip-level barrier replay tracks barrierPending and
+	// the chip-wide waiting/unfinished totals across drains.
+	lookahead     uint64
+	osEpochCycles uint64
+	barrierPending bool
+	totWaiting    int
+	totUnfinished int
+	drainPos      []int
 
 	ffSkipped uint64 // cycles fast-forwarded instead of ticked
 	ffJumps   uint64 // number of fast-forward jumps taken
+
+	schedEpochs   uint64 // epoch boundaries drained
+	schedDrained  uint64 // L3/DRAM requests answered at drains
+	schedDegrades uint64 // chip-level skips degraded to slow-path ticking
 
 	// tel is the run's telemetry collector (nil when disabled); event
 	// emissions are guarded on it so the untelemetered path pays one
@@ -221,14 +249,23 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 		s.l3.AttachFaults(s.faults)
 	}
 
+	// Epoch length: the lookahead bound is the minimum L3 round trip
+	// (every buffered request's completion lands at least L2Read+L3Read
+	// cycles after issue, i.e. at or beyond the epoch boundary it was
+	// issued in), further capped by the barrier release propagation
+	// delay so replayed releases never land in a cluster's past.
+	rt := uint64(chip.Latencies.L2Read + chip.Latencies.L3Read)
+	s.lookahead = max(1, min(rt, barrierReleaseCycles))
+	if opts.EpochCycles > 0 && opts.EpochCycles < s.lookahead {
+		s.lookahead = opts.EpochCycles
+	}
+	s.osEpochCycles = uint64(cfg.ConsolidationParams.OSIntervalPS / config.CachePeriodPS)
+
 	vm := variation.Generate(cfg.VariationSeed, 8, 8, cfg.CoreVdd, variation.DefaultParams())
 	n := cfg.NumClusters()
 	s.clus = make([]*cluster.Cluster, n)
-	s.mgrs = make([]consolidation.Manager, n)
-	s.lastMtr = make([]power.Meter, n)
-	s.lastCyc = make([]uint64, n)
-	s.lastOS = make([]uint64, n)
-	s.epochIdx = make([]int, n)
+	s.crs = make([]*clusterRunner, n)
+	s.drainPos = make([]int, n)
 	for i := 0; i < n; i++ {
 		s.clus[i] = cluster.New(cluster.Params{
 			Config:     cfg,
@@ -238,11 +275,17 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 			Bench:      prof,
 			Seed:       opts.Seed,
 			QuotaInstr: opts.QuotaInstr,
-			Lower:      (*lowerAdapter)(s),
-			Faults:     s.faults,
-			Telemetry:  s.tel.Child(fmt.Sprintf("cluster.%d", i)),
+			// Each cluster draws write-retry faults from its own derived
+			// stream so clusters can step on concurrent workers; the root
+			// injector keeps the kill schedule and the L3's draws.
+			Faults:    s.faults.Derive(int64(i)),
+			Telemetry: s.tel.Child(fmt.Sprintf("cluster.%d", i)),
 		})
-		s.mgrs[i] = s.newManager()
+		cr := &clusterRunner{cl: s.clus[i], mgr: s.newManager()}
+		cr.logU = s.clus[i].Unfinished()
+		cr.repU = cr.logU
+		s.totUnfinished += cr.repU
+		s.crs[i] = cr
 	}
 	if s.tel != nil {
 		s.registerTelemetry()
@@ -265,12 +308,12 @@ func (s *Sim) newManager() consolidation.Manager {
 	}
 }
 
-// lowerAdapter implements cluster.Lower over the sim's shared L3/DRAM.
-type lowerAdapter Sim
-
-// L3Access implements cluster.Lower.
-func (la *lowerAdapter) L3Access(start uint64, addr uint64, write bool) uint64 {
-	s := (*Sim)(la)
+// l3Access runs one buffered cluster request against the shared L3 (and
+// DRAM below it), advancing the port timeline and returning the cycle
+// the data is ready. Called only from the serial epoch-boundary drain,
+// in global (cycle, cluster, issue-order) order — the same order the
+// serial per-cycle loop presented requests.
+func (s *Sim) l3Access(start uint64, addr uint64, write bool) uint64 {
 	if start < s.l3NextFree {
 		start = s.l3NextFree
 	}
@@ -315,14 +358,17 @@ func (s *Sim) Run() (Result, error) {
 }
 
 // RunContext executes the simulation to completion, honouring ctx: on
-// cancellation it stops at the next check boundary and returns the
+// cancellation it stops at the next epoch boundary and returns the
 // partial Result collected so far alongside the context's error, so an
 // interrupted experiment still reports what it measured.
+//
+// The loop advances in conservative-lookahead epochs (see epoch.go):
+// clusters free-run [now, end) on the worker pool, then the coordinator
+// drains cross-cluster effects serially and handles the cycle-exact
+// chip-level obligations — kills, completion, the watchdog, the machine
+// check, and chip-wide idle jumps — all of which land exactly on epoch
+// boundaries (kills and the watchdog clamp the epoch so they do).
 func (s *Sim) RunContext(ctx context.Context) (Result, error) {
-	pp := s.cfg.ConsolidationParams
-	osEpochCycles := uint64(pp.OSIntervalPS / config.CachePeriodPS)
-	barrierPending := false
-
 	if s.tel != nil {
 		s.tel.Emit("run.start", 0, map[string]any{
 			"config":       s.cfg.Kind.String(),
@@ -336,18 +382,52 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 
 	nextKill, killPending := s.faults.NextKill()
 
+	workers := min(s.opts.Workers, len(s.crs))
+	var startChs []chan uint64
+	var doneCh chan any
+	if workers > 1 {
+		startChs = make([]chan uint64, workers)
+		doneCh = make(chan any, workers)
+		for w := range startChs {
+			startChs[w] = make(chan uint64, 1)
+			go s.clusterWorker(w, workers, startChs[w], doneCh)
+		}
+		defer func() {
+			for _, ch := range startChs {
+				close(ch)
+			}
+		}()
+	}
+
+	// Endgame: once every unfinished thread is within an epoch's worth
+	// of retirement of its quota, drop to one-cycle epochs so the
+	// completion cycle is detected exactly (monotone, so sticky).
+	endgame := false
 	now := uint64(0)
-	for ; now < s.opts.MaxCycles; now++ {
-		// Cancellation check, amortised over 4096-cycle windows so the
-		// hot loop stays branch-predictable.
-		if now&0xFFF == 0 && ctx.Err() != nil {
+	for {
+		if now >= s.opts.MaxCycles {
+			s.emitEnd("run.deadlock", now)
+			derr := &DeadlockError{
+				Bench:          s.bench.Name,
+				Kind:           s.cfg.Kind,
+				MaxCycles:      s.opts.MaxCycles,
+				BarrierPending: s.barrierPending,
+			}
+			for _, cl := range s.clus {
+				derr.Clusters = append(derr.Clusters, diagnose(cl))
+			}
+			return Result{}, derr
+		}
+		if ctx.Err() != nil {
 			s.emitEnd("run.interrupted", now)
 			return s.collect(now), fmt.Errorf("sim: %s/%v interrupted at cycle %d: %w",
 				s.bench.Name, s.cfg.Kind, now, ctx.Err())
 		}
 
 		// Deliver scheduled core-kill faults. A refused kill (core
-		// already dead, or last survivor) is dropped uncounted.
+		// already dead, or last survivor) is dropped uncounted. Epochs
+		// are clamped to the next kill cycle, so delivery lands on the
+		// exact scheduled cycle, before that cycle is ticked.
 		for killPending && nextKill.Cycle <= now {
 			delivered := s.clus[nextKill.Cluster].KillCore(nextKill.Core)
 			if delivered {
@@ -365,19 +445,37 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 			nextKill, killPending = s.faults.NextKill()
 		}
 
-		done := true
-		for _, cl := range s.clus {
-			if !cl.Done() {
-				done = false
+		if s.allDone() {
+			// Mirror the serial loop's final iteration: every cluster
+			// ticks the completion cycle once more (delivering leftover
+			// completions, counting controller idle cycles), and the
+			// traffic that tick generates still reaches the L3.
+			for _, cr := range s.crs {
+				cr.cl.Tick()
 			}
-			cl.Tick()
-		}
-		if done {
-			break
+			s.drain()
+			s.emitEnd("run.end", now)
+			return s.collect(now), nil
 		}
 
+		if !endgame && s.allCanFinishWithin(endgameBudget(s.lookahead)) {
+			endgame = true
+		}
+		k := s.lookahead
+		if endgame {
+			k = 1
+		}
+		end := min(now+k, s.opts.MaxCycles)
+		if killPending {
+			end = min(end, nextKill.Cycle)
+		}
+
+		s.runEpoch(end, startChs, doneCh)
+		s.drain()
+		now = end
+
 		// Machine check: a detected-uncorrectable SRAM word halts the
-		// run when the policy says so.
+		// run when the policy says so (at epoch granularity).
 		if s.faults.HaltOnUncorrectable() && s.faults.Uncorrectable() {
 			s.emitEnd("run.halted", now)
 			return s.collect(now), &UncorrectableError{
@@ -385,167 +483,38 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 			}
 		}
 
-		// Global barrier: when every unfinished thread chip-wide is
-		// parked, release all clusters after the propagation delay.
-		if !barrierPending {
-			waiting, unfinished := 0, 0
-			for _, cl := range s.clus {
-				waiting += cl.BarrierWaiters()
-				unfinished += cl.Unfinished()
-			}
-			if unfinished > 0 && waiting == unfinished {
-				for _, cl := range s.clus {
-					cl.ScheduleBarrierRelease(now + barrierReleaseCycles)
-				}
-				barrierPending = true
-			}
-		} else {
-			stillWaiting := 0
-			for _, cl := range s.clus {
-				stillWaiting += cl.BarrierWaiters()
-			}
-			if stillWaiting == 0 {
-				barrierPending = false
-			}
-		}
-
-		// Consolidation epochs.
-		if s.cfg.Consolidation != config.NoConsolidation {
-			for i, cl := range s.clus {
-				boundary := false
-				if s.cfg.Consolidation == config.OSConsolidation {
-					boundary = now-s.lastOS[i] >= osEpochCycles
-				} else {
-					boundary = cl.EpochInstructions() >= pp.EpochInstructions
-				}
-				if boundary {
-					s.endEpoch(i, now)
-				}
-			}
-		}
-
-		// Idle fast-forward: when no cluster has runnable work, jump to
-		// the earliest cycle anything can happen. Cycle-exact
-		// obligations clamp the jump: pending core-kill faults, OS
-		// consolidation epoch boundaries, and the watchdog (a deadlocked
-		// chip fast-forwards straight into MaxCycles with the same stall
-		// accounting a ticked run would accumulate).
+		// Chip-level idle fast-forward: when no cluster has runnable
+		// work, jump over epoch boundaries to the earliest cycle
+		// anything can happen. Cycle-exact obligations clamp the jump:
+		// pending kills, OS consolidation boundaries, and the watchdog
+		// (a deadlocked chip fast-forwards straight into MaxCycles with
+		// the same stall accounting a ticked run would accumulate).
+		// Intra-epoch idleness is skipped cluster-locally instead
+		// (runClusterEpoch).
 		if !s.opts.DisableFastForward && !s.allDone() {
-			if wake, ok := s.nextWake(killPending, nextKill.Cycle, osEpochCycles); ok {
+			if wake, ok := s.nextWake(killPending, nextKill.Cycle); ok {
 				wake = min(wake, s.opts.MaxCycles)
-				if wake > now+1 {
-					for _, cl := range s.clus {
-						cl.SkipTo(wake)
+				if wake > now {
+					for _, cr := range s.crs {
+						if err := cr.cl.TrySkipTo(wake); err != nil {
+							// Mis-sized window: leave the cluster where it
+							// is; it ticks the skipped range inside the
+							// next epoch instead (slow path).
+							s.schedDegrades++
+						}
 					}
-					skipped := wake - (now + 1)
+					skipped := wake - now
 					s.ffSkipped += skipped
 					s.ffJumps++
 					if s.tel != nil && skipped >= ffJumpEventMin {
 						s.tel.Emit("ff.jump", now, map[string]any{
-							"from": now + 1, "to": wake, "skipped": skipped,
+							"from": now, "to": wake, "skipped": skipped,
 						})
 					}
-					now = wake - 1 // the loop increment lands on wake
+					now = wake
 				}
 			}
 		}
-	}
-	if now >= s.opts.MaxCycles {
-		s.emitEnd("run.deadlock", now)
-		derr := &DeadlockError{
-			Bench:          s.bench.Name,
-			Kind:           s.cfg.Kind,
-			MaxCycles:      s.opts.MaxCycles,
-			BarrierPending: barrierPending,
-		}
-		for _, cl := range s.clus {
-			derr.Clusters = append(derr.Clusters, diagnose(cl))
-		}
-		return Result{}, derr
-	}
-	s.emitEnd("run.end", now)
-	return s.collect(now), nil
-}
-
-// allDone reports whether every cluster has finished; the run loop is
-// about to break (on its next iteration's pre-tick check), so the fast
-// forward must not jump a completed chip into the watchdog.
-func (s *Sim) allDone() bool {
-	for _, cl := range s.clus {
-		if !cl.Done() {
-			return false
-		}
-	}
-	return true
-}
-
-// nextWake returns the next cycle at which any cluster- or chip-level
-// activity can occur, or ok=false when some cluster has runnable work
-// right now. All clusters have already ticked the current cycle, so the
-// candidate wake cycles start at now+1.
-func (s *Sim) nextWake(killPending bool, nextKill uint64, osEpochCycles uint64) (uint64, bool) {
-	wake := uint64(cluster.NeverWake)
-	for i, cl := range s.clus {
-		w, ok := cl.NextWake()
-		if !ok {
-			return 0, false
-		}
-		wake = min(wake, w)
-		if s.cfg.Consolidation == config.OSConsolidation {
-			// OS epochs end on a wall-clock cycle count regardless of
-			// activity; the boundary must be hit exactly.
-			wake = min(wake, s.lastOS[i]+osEpochCycles)
-		}
-	}
-	if killPending {
-		wake = min(wake, nextKill)
-	}
-	return wake, true
-}
-
-// endEpoch closes cluster i's consolidation epoch at the given cycle.
-func (s *Sim) endEpoch(i int, now uint64) {
-	cl := s.clus[i]
-	meter, cyc := cl.EpochSnapshot()
-	delta := meter.Sub(&s.lastMtr[i])
-	dtPS := int64(cyc-s.lastCyc[i]) * config.CachePeriodPS
-	cacheShare := s.chip.CacheLeakW / float64(len(s.clus))
-	energy := delta.TotalPJ() + cacheShare*float64(dtPS)
-	m := consolidation.Measurement{
-		EPI:          energy / float64(max(cl.EpochInstructions(), 1)),
-		Utilization:  cl.EpochUtilization(),
-		Instructions: cl.EpochInstructions(),
-		TimePS:       dtPS,
-		EnergyPJ:     energy,
-		DynamicPJ:    delta.DynamicPJ(),
-		Active:       cl.ActiveCores(),
-	}
-	target := s.mgrs[i].Decide(m)
-	cl.SetActiveCores(target)
-	cl.ResetEpoch()
-	s.lastMtr[i] = meter
-	s.lastCyc[i] = cyc
-	s.lastOS[i] = now
-
-	// Figure 12-14 bookkeeping.
-	s.epochIdx[i]++
-	if i == 0 && s.opts.EpochTrace {
-		s.trace.Append(float64(now)*config.CachePeriodPS*1e-6, float64(cl.ActiveCores()))
-	}
-	// Exclude the startup phase (first few epochs), as the paper does.
-	if s.epochIdx[i] > 3 {
-		s.activeSum.Observe(float64(cl.ActiveCores()))
-	}
-	if s.tel != nil {
-		// Emitted after the manager's decision took effect, so "active"
-		// matches the value the epoch trace records.
-		s.tel.Emit("epoch", now, map[string]any{
-			"cluster":      i,
-			"epoch":        s.epochIdx[i],
-			"active":       cl.ActiveCores(),
-			"instructions": m.Instructions,
-			"time_us":      float64(now) * config.CachePeriodPS * 1e-6,
-		})
 	}
 }
 

@@ -20,6 +20,9 @@ func (s *Sim) registerTelemetry() {
 	c := s.tel
 	c.RegisterCounter("sim.ff.skipped_cycles", func() uint64 { return s.ffSkipped })
 	c.RegisterCounter("sim.ff.jumps", func() uint64 { return s.ffJumps })
+	c.RegisterCounter("sim.sched.epochs", func() uint64 { return s.schedEpochs })
+	c.RegisterCounter("sim.sched.drained_requests", func() uint64 { return s.schedDrained })
+	c.RegisterCounter("sim.sched.degraded_skips", func() uint64 { return s.schedDegrades })
 	c.RegisterCounter("dram.accesses", s.dram.Accesses.Value)
 	mem.RegisterTelemetry(c.Child("l3"), s.l3)
 	c.RegisterSummary("sim.active_cores_per_epoch", &s.activeSum)
