@@ -37,7 +37,7 @@ func run() int {
 	quick := flag.Bool("quick", false, "reduced benchmark set and quotas")
 	traceQuota := flag.Uint64("trace-quota", 0, "override consolidation-trace budget")
 	benches := flag.String("benches", "", "comma-separated benchmark subset")
-	only := flag.String("only", "", "run a single experiment: fig1,fig2,tab1,tab3,tab4,vmin,area,variation,workloads,fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14,faults")
+	only := flag.String("only", "", "run a single experiment: "+onlyKeys)
 	out := flag.String("o", "", "also write the report to this file")
 	jsonOut := flag.String("json", "", "write the comparison summary as JSON to this file")
 	flag.Parse()
@@ -74,7 +74,7 @@ func run() int {
 		var ok bool
 		text, ok = runOne(r, *only)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "respin-bench: unknown experiment %q\n", *only)
+			fmt.Fprintf(os.Stderr, "respin-bench: unknown experiment %q (valid: %s)\n", *only, onlyKeys)
 			return 2
 		}
 	} else {
@@ -109,6 +109,11 @@ func fail(err error) int {
 	return 1
 }
 
+// onlyKeys lists every -only id runOne accepts (aliases after their
+// canonical names); keep it in sync with the switch below.
+const onlyKeys = "fig1,fig2,tab1,tab3,tab4,vmin,area,variation,workloads," +
+	"fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14,faults,endurance"
+
 // runOne dispatches a single experiment by id.
 func runOne(r *experiments.Runner, id string) (string, bool) {
 	switch id {
@@ -142,6 +147,8 @@ func runOne(r *experiments.Runner, id string) (string, bool) {
 		return r.Figure14().Render(), true
 	case "faults":
 		return r.FaultSweep().Render(), true
+	case "endurance":
+		return r.EnduranceSweep().Render(), true
 	case "floorplan", "fig2":
 		return experiments.Floorplan(), true
 	case "vmin":

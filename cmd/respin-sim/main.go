@@ -10,6 +10,7 @@
 //	           [-metrics f] [-events f]
 //	           [-fault-seed 1] [-stt-write-fail P] [-sram-bitflip P]
 //	           [-ecc SECDED] [-kill-cores N] [-kill-cycle C]
+//	           [-endurance-budget B] [-retention-cycles R] [-wear-level]
 //
 // SIGINT cancels the run; the statistics measured up to the
 // interruption are still reported (marked partial).
@@ -25,6 +26,7 @@ import (
 
 	"respin/internal/cli"
 	"respin/internal/config"
+	"respin/internal/endurance"
 	"respin/internal/power"
 	"respin/internal/report"
 	"respin/internal/sim"
@@ -94,7 +96,9 @@ func run() int {
 	defer stop()
 	res, err := sim.RunContext(ctx, cfg, t.BenchName, opts)
 	partial := err != nil && errors.Is(err, context.Canceled)
-	if err != nil && !partial {
+	var wear *endurance.WearOutError
+	woreOut := errors.As(err, &wear)
+	if err != nil && !partial && !woreOut {
 		return fail(err)
 	}
 
@@ -102,6 +106,9 @@ func run() int {
 		cfg.Kind, t.BenchName, cfg.Scale, cfg.ClusterSize, opts.QuotaInstr)
 	if partial {
 		fmt.Printf("INTERRUPTED at cycle %d — statistics below are partial\n\n", res.Cycles)
+	}
+	if woreOut {
+		fmt.Printf("WORE OUT: %v — statistics below cover the array's lifetime\n\n", wear)
 	}
 	tbl := report.NewTable("", "metric", "value")
 	tbl.AddRow("execution time", report.Millis(res.TimePS))
@@ -131,6 +138,23 @@ func run() int {
 		tbl.AddRow("SRAM flips corrected / uncorrectable", fmt.Sprintf("%d / %d",
 			res.Faults.SRAMCorrected, res.Faults.SRAMUncorrectable))
 		tbl.AddRow("cores killed", fmt.Sprintf("%d", res.DeadCores))
+	}
+	if e := res.Endurance; e != nil {
+		tbl.AddRow("STT array writes", fmt.Sprintf("%d", e.Writes))
+		tbl.AddRow("retired ways", fmt.Sprintf("%d / %d", e.RetiredWays, e.TotalWays))
+		if e.MaxWearFracPct > 0 {
+			tbl.AddRow("max wear (worst way)", fmt.Sprintf("%.2f%%", e.MaxWearFracPct))
+		}
+		if e.ProjectedTTF > 0 {
+			tbl.AddRow("projected lifetime", fmt.Sprintf("%.2f Mcycles", e.ProjectedTTF/1e6))
+		}
+		if e.RetentionCycles > 0 {
+			tbl.AddRow("scrubs / lines refreshed", fmt.Sprintf("%d / %d", e.Scrubs, e.ScrubRefreshes))
+			tbl.AddRow("retention losses (dirty)", fmt.Sprintf("%d (%d)", e.RetentionLosses, e.RetentionDirty))
+		}
+		if e.WearLevel {
+			tbl.AddRow("wear-level rotations", fmt.Sprintf("%d", e.Rotations))
+		}
 	}
 	fmt.Print(tbl.String())
 

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"respin/internal/config"
+	"respin/internal/endurance"
 	"respin/internal/experiments"
 	"respin/internal/faults"
 	"respin/internal/prof"
@@ -55,6 +56,9 @@ type Common struct {
 	Events  string
 	// Faults is the fault-injection flag group (always registered).
 	Faults *faults.Flags
+	// Endurance is the STT wear/retention flag group (always
+	// registered; all defaults disable the model).
+	Endurance *endurance.Flags
 
 	collector  *telemetry.Collector
 	eventsFile *os.File
@@ -75,6 +79,7 @@ func (c *Common) Register(fs *flag.FlagSet, d Defaults) {
 	fs.StringVar(&c.Metrics, "metrics", "", "write the final telemetry metric snapshot (JSON) to this file")
 	fs.StringVar(&c.Events, "events", "", "stream telemetry events (JSONL) to this file")
 	c.Faults = faults.BindTo(fs)
+	c.Endurance = endurance.BindTo(fs)
 }
 
 // Start begins CPU profiling and opens the telemetry outputs. It
@@ -132,6 +137,7 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 		opts.Seed = c.Seed
 		opts.Workers = c.Workers
 		opts.Telemetry = c.collector
+		opts.Endurance = c.Endurance.Params(c.faultSeed())
 		if c.Jobs > 0 {
 			runtime.GOMAXPROCS(c.Jobs)
 		}
@@ -146,7 +152,8 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 		if c.Seed != 0 {
 			r.Seed = c.Seed
 		}
-		r.FaultSeed = c.Faults.Seed
+		r.FaultSeed = c.faultSeed()
+		r.Endurance = c.Endurance.Params(c.faultSeed())
 		r.Jobs = c.Jobs
 		r.Workers = c.Workers
 		if !c.Quiet {
@@ -164,6 +171,15 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 // given cluster count.
 func (c *Common) FaultParams(numClusters int) (faults.Params, error) {
 	return c.Faults.Params(numClusters)
+}
+
+// faultSeed reads the -fault-seed value, tolerating a Common that was
+// never Registered (tests build them by hand; the flag groups are nil).
+func (c *Common) faultSeed() int64 {
+	if c.Faults == nil {
+		return 0
+	}
+	return c.Faults.Seed
 }
 
 // TargetFlags selects which of the target-selection flags a tool

@@ -32,6 +32,7 @@ import (
 	"respin/internal/coherence"
 	"respin/internal/config"
 	"respin/internal/cpu"
+	"respin/internal/endurance"
 	"respin/internal/faults"
 	"respin/internal/mem"
 	"respin/internal/power"
@@ -264,7 +265,12 @@ type Cluster struct {
 	// draws to the technology that needs them.
 	faults   *faults.Injector
 	wrFaults *faults.Injector
-	deadCnt  int
+	// endurCaches lists this cluster's STT arrays with an endurance
+	// model attached (empty when the model is off): each Tick keeps
+	// their retention clocks current and runs due scrub passes; each
+	// entry carries the per-write energy its scrub refreshes cost.
+	endurCaches []enduranceCache
+	deadCnt     int
 	// tel is the cluster's telemetry collector (nil when disabled);
 	// event emissions are guarded on it so the fault-free, untelemetered
 	// hot path pays one pointer test.
@@ -310,6 +316,17 @@ type Params struct {
 	// registrations and events (conventionally the run collector's
 	// "cluster.<id>" child). Nil disables telemetry at zero cost.
 	Telemetry *telemetry.Collector
+	// Endurance is the chip-wide wear/retention tracker; nil disables
+	// the model. STT-RAM hierarchies only — SRAM arrays neither wear
+	// out on writes nor lose retention.
+	Endurance *endurance.Tracker
+}
+
+// enduranceCache pairs an endurance-attached array with the dynamic
+// energy of one of its data writes (what a scrub refresh costs).
+type enduranceCache struct {
+	c       *mem.Cache
+	writePJ float64
 }
 
 // New builds a cluster.
@@ -398,11 +415,80 @@ func New(p Params) *Cluster {
 			}
 		}
 	}
+	// The endurance/retention model covers STT arrays only: SRAM cells
+	// neither wear out on writes nor expire on a retention timer.
+	if p.Endurance != nil && p.Config.Tech == config.STTRAM {
+		cl.attachEndurance(p.Endurance)
+	}
 	if p.Telemetry.Enabled() {
 		cl.tel = p.Telemetry
 		cl.registerTelemetry()
 	}
 	return cl
+}
+
+// Endurance array salts: each array gets a chip-unique salt of
+// clusterID*saltStride + offset, so budget streams never collide across
+// arrays or clusters (chip-shared arrays use negative salts).
+const (
+	saltStride  = 256
+	saltL2      = 0
+	saltL1I     = 1
+	saltL1D     = 2
+	saltPrivI   = 8   // + core id (cluster size <= 64)
+	saltPrivL1D = 128 // + core id
+)
+
+// attachEndurance registers per-array endurance state for every STT
+// array the cluster owns. Arrays and their budgets are created here,
+// eagerly and in a fixed order, so budgets are a pure function of
+// (seed, array identity) regardless of how clusters later interleave.
+func (cl *Cluster) attachEndurance(t *endurance.Tracker) {
+	base := int64(cl.id) * saltStride
+	e := &cl.chip.Energies
+	attach := func(c *mem.Cache, salt int64, label string, writePJ float64) {
+		p := c.Params()
+		c.AttachEndurance(t.NewArray(label, base+salt, p.Sets(), p.Assoc))
+		cl.endurCaches = append(cl.endurCaches, enduranceCache{c: c, writePJ: writePJ})
+	}
+	attach(cl.l2, saltL2, fmt.Sprintf("cluster%d.l2", cl.id), e.L2Write)
+	if cl.cfg.L1 == config.SharedL1 {
+		attach(cl.sharedL1I, saltL1I, fmt.Sprintf("cluster%d.l1i", cl.id), e.L1IWrite)
+		attach(cl.sharedL1D, saltL1D, fmt.Sprintf("cluster%d.l1d", cl.id), e.L1DWrite)
+	} else {
+		for i := range cl.privI {
+			attach(cl.privI[i], saltPrivI+int64(i), fmt.Sprintf("cluster%d.core%d.l1i", cl.id, i), e.L1IWrite)
+			attach(cl.dir.Cache(i), saltPrivL1D+int64(i), fmt.Sprintf("cluster%d.core%d.l1d", cl.id, i), e.L1DWrite)
+		}
+	}
+}
+
+// enduranceTick keeps the retention clocks of the cluster's STT arrays
+// current and runs any scrub pass that came due, charging refresh write
+// energy. Called once per Tick, only when the model is attached.
+func (cl *Cluster) enduranceTick() {
+	for i := range cl.endurCaches {
+		ec := &cl.endurCaches[i]
+		ec.c.SetNow(cl.now)
+		if ec.c.Endurance().ScrubDue(cl.now) {
+			n := ec.c.Scrub(cl.now)
+			if n > 0 {
+				cl.Meter.AddPJ(power.CacheDynamic, float64(n)*ec.writePJ)
+			}
+		}
+	}
+}
+
+// nextScrubDeadline returns the earliest pending scrub across the
+// cluster's endurance-attached arrays (NeverWake when none).
+func (cl *Cluster) nextScrubDeadline() uint64 {
+	next := NeverWake
+	for i := range cl.endurCaches {
+		if s := cl.endurCaches[i].c.Endurance().NextScrub(); s < next {
+			next = s
+		}
+	}
+	return next
 }
 
 // efficiencyOrder sorts pcore ids fastest-first (lowest multiple), which

@@ -28,6 +28,12 @@ func (cl *Cluster) NextWake() (wake uint64, ok bool) {
 	if cl.cfg.L1 == config.SharedL1 && (!cl.ctrlI.Idle() || !cl.ctrlD.Idle()) {
 		return 0, false
 	}
+	if len(cl.endurCaches) > 0 {
+		// Retention scrub deadlines are wake points: fast-forwarding
+		// past one would delay the scrub and lose lines that a
+		// slow-path run would have refreshed.
+		wake = min(wake, cl.nextScrubDeadline())
+	}
 	if e, any := cl.events.peek(); any {
 		wake = e.cycle
 	}

@@ -16,6 +16,12 @@ var debugSlowLoads = false
 
 // Tick advances the cluster by one cache cycle.
 func (cl *Cluster) Tick() {
+	// 0. Endurance/retention housekeeping (STT arrays with the model
+	// attached): advance retention clocks, run due scrub passes.
+	if len(cl.endurCaches) > 0 {
+		cl.enduranceTick()
+	}
+
 	// 1. Deliver deferred completions due this cycle.
 	for {
 		e, ok := cl.events.peek()

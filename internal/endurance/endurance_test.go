@@ -1,0 +1,262 @@
+package endurance
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParamsNormalize(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Params
+		wantErr string
+		check   func(t *testing.T, p Params)
+	}{
+		{name: "zero value disabled", p: Params{}, check: func(t *testing.T, p Params) {
+			if p.Enabled() {
+				t.Error("zero params report enabled")
+			}
+			if p.BudgetSigma != DefaultBudgetSigma || p.Seed != 1 {
+				t.Errorf("defaults not applied: %+v", p)
+			}
+		}},
+		{name: "nan mean", p: Params{BudgetMean: math.NaN()}, wantErr: "budget mean"},
+		{name: "inf mean", p: Params{BudgetMean: math.Inf(1)}, wantErr: "budget mean"},
+		{name: "negative mean", p: Params{BudgetMean: -1}, wantErr: "budget mean"},
+		{name: "nan sigma", p: Params{BudgetSigma: math.NaN()}, wantErr: "budget sigma"},
+		{name: "inf sigma", p: Params{BudgetSigma: math.Inf(-1)}, wantErr: "budget sigma"},
+		{name: "huge sigma", p: Params{BudgetSigma: 5}, wantErr: "unreasonably large"},
+		{name: "scrub exceeds retention", p: Params{RetentionCycles: 100, ScrubPeriod: 200}, wantErr: "exceeds retention"},
+		{name: "scrub without retention", p: Params{ScrubPeriod: 50}, wantErr: "without retention"},
+		{name: "wear period without wear-level", p: Params{WearLevelPeriod: 10}, wantErr: "without wear-leveling"},
+		{name: "scrub defaults to half retention", p: Params{RetentionCycles: 100}, check: func(t *testing.T, p Params) {
+			if p.ScrubPeriod != 50 {
+				t.Errorf("ScrubPeriod = %d, want 50", p.ScrubPeriod)
+			}
+		}},
+		{name: "retention one cycle", p: Params{RetentionCycles: 1}, check: func(t *testing.T, p Params) {
+			if p.ScrubPeriod != 1 {
+				t.Errorf("ScrubPeriod = %d, want 1", p.ScrubPeriod)
+			}
+		}},
+		{name: "wear-level default period", p: Params{BudgetMean: 10, WearLevel: true}, check: func(t *testing.T, p Params) {
+			if p.WearLevelPeriod != DefaultWearLevelPeriod {
+				t.Errorf("WearLevelPeriod = %d, want default", p.WearLevelPeriod)
+			}
+			if !p.Enabled() {
+				t.Error("budgeted params report disabled")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.p
+			err := p.Normalize()
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			// Idempotent.
+			if err := p.Normalize(); err != nil {
+				t.Fatalf("second Normalize: %v", err)
+			}
+			if tc.check != nil {
+				tc.check(t, p)
+			}
+		})
+	}
+}
+
+func TestNewTrackerPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid params")
+		}
+	}()
+	NewTracker(Params{BudgetMean: math.NaN()})
+}
+
+// writesUntilRetire hammers one way until its budget runs out and
+// returns the write count.
+func writesUntilRetire(a *Array, set, way int) uint64 {
+	for n := uint64(1); ; n++ {
+		if a.RecordWrite(set, way, n) {
+			return n
+		}
+	}
+}
+
+func TestBudgetsDeterministicBySeedAndSalt(t *testing.T) {
+	p := Params{Seed: 7, BudgetMean: 50, BudgetSigma: 0.5}
+	a := NewTracker(p).NewArray("a", 3, 4, 2)
+	b := NewTracker(p).NewArray("b", 3, 4, 2)
+	if got, want := writesUntilRetire(a, 0, 0), writesUntilRetire(b, 0, 0); got != want {
+		t.Fatalf("same (seed, salt) diverged: %d vs %d writes to retire", got, want)
+	}
+	// A different salt draws an independent budget stream: with sigma
+	// 0.5 the first way's budget almost surely differs.
+	c := NewTracker(p).NewArray("c", 4, 4, 2)
+	d := NewTracker(Params{Seed: 8, BudgetMean: 50, BudgetSigma: 0.5}).NewArray("d", 3, 4, 2)
+	ca, cb := writesUntilRetire(c, 0, 0), writesUntilRetire(d, 0, 0)
+	ref := writesUntilRetire(NewTracker(p).NewArray("e", 3, 4, 2), 0, 0)
+	if ca == ref && cb == ref {
+		t.Fatalf("salt and seed changes both reproduced the same budget %d", ref)
+	}
+}
+
+func TestRetirementAndExhaustion(t *testing.T) {
+	tr := NewTracker(Params{Seed: 1, BudgetMean: 5, BudgetSigma: 0.01})
+	a := tr.NewArray("l2", 0, 1, 2)
+	if tr.Exhausted() != nil {
+		t.Fatal("fresh tracker exhausted")
+	}
+	writesUntilRetire(a, 0, 0)
+	if a.RetiredWays() != 1 {
+		t.Fatalf("RetiredWays = %d, want 1", a.RetiredWays())
+	}
+	if !a.Retired(0, 0) || a.Retired(0, 1) {
+		t.Fatal("wrong way retired")
+	}
+	if tr.Exhausted() != nil {
+		t.Fatal("exhausted with a live way remaining")
+	}
+	// Writes to a retired way are ignored, not double-counted.
+	if a.RecordWrite(0, 0, 99) {
+		t.Fatal("retired way retired again")
+	}
+	n := writesUntilRetire(a, 0, 1)
+	ex := tr.Exhausted()
+	if ex == nil {
+		t.Fatal("set with no live ways not exhausted")
+	}
+	if ex.Array != "l2" || ex.Set != 0 || ex.Cycle != n {
+		t.Fatalf("exhausted = %+v, want l2 set 0 cycle %d", ex, n)
+	}
+	if !strings.Contains(ex.Error(), "l2") {
+		t.Fatalf("error text %q lacks array label", ex.Error())
+	}
+}
+
+func TestScrubScheduling(t *testing.T) {
+	tr := NewTracker(Params{RetentionCycles: 100, ScrubPeriod: 40})
+	a := tr.NewArray("x", 0, 2, 2)
+	if a.ScrubDue(39) {
+		t.Fatal("scrub due before first period")
+	}
+	if !a.ScrubDue(40) || a.NextScrub() != 40 {
+		t.Fatalf("first scrub not due at 40 (next = %d)", a.NextScrub())
+	}
+	a.ScrubDone(95, 3)
+	// The next deadline lands strictly after now, on the period grid.
+	if a.NextScrub() != 120 {
+		t.Fatalf("NextScrub = %d after ScrubDone(95), want 120", a.NextScrub())
+	}
+	// Without retention the horizon is unbounded.
+	none := NewTracker(Params{BudgetMean: 10}).NewArray("y", 0, 2, 2)
+	if none.NextScrub() != math.MaxUint64 {
+		t.Fatal("retention-off NextScrub not MaxUint64")
+	}
+	if none.ScrubDue(1 << 40) {
+		t.Fatal("retention-off scrub due")
+	}
+}
+
+func TestRotationAccounting(t *testing.T) {
+	tr := NewTracker(Params{BudgetMean: 1e9, WearLevel: true, WearLevelPeriod: 3})
+	a := tr.NewArray("z", 0, 4, 2)
+	for i := 0; i < 2; i++ {
+		a.RecordWrite(i, 0, uint64(i))
+		if a.RotationDue() {
+			t.Fatalf("rotation due after %d writes", i+1)
+		}
+	}
+	a.RecordWrite(2, 0, 2)
+	if !a.RotationDue() {
+		t.Fatal("rotation not due after period writes")
+	}
+	a.Rotated(5)
+	if a.RotationDue() {
+		t.Fatal("rotation still due after Rotated")
+	}
+	rep := tr.Report(100)
+	if rep.Rotations != 1 || rep.RotationFlushWB != 5 {
+		t.Fatalf("rotation report = %d/%d, want 1/5", rep.Rotations, rep.RotationFlushWB)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	var nilTracker *Tracker
+	if nilTracker.Report(100) != nil {
+		t.Fatal("nil tracker report not nil")
+	}
+	tr := NewTracker(Params{Seed: 3, BudgetMean: 1000, BudgetSigma: 0.01, RetentionCycles: 100})
+	a := tr.NewArray("a", 0, 2, 2)
+	b := tr.NewArray("b", 1, 2, 2)
+	for i := uint64(0); i < 10; i++ {
+		a.RecordWrite(0, 0, i)
+	}
+	b.RecordWrite(1, 1, 1)
+	a.RetentionLoss(true)
+	b.ScrubDone(50, 2)
+	rep := tr.Report(1000)
+	if rep.Writes != 11 || len(rep.Arrays) != 2 || rep.TotalWays != 8 {
+		t.Fatalf("aggregate wrong: %+v", rep)
+	}
+	if rep.RetentionLosses != 1 || rep.RetentionDirty != 1 || rep.Scrubs != 1 || rep.ScrubRefreshes != 2 {
+		t.Fatalf("retention aggregate wrong: %+v", rep)
+	}
+	if rep.MaxSetWear != 10 {
+		t.Fatalf("MaxSetWear = %d, want 10", rep.MaxSetWear)
+	}
+	// ~10/1000 of the worst way consumed over 1000 cycles projects
+	// ~100x the observed horizon.
+	if rep.MaxWearFracPct <= 0 || rep.ProjectedTTF <= float64(1000) {
+		t.Fatalf("projection missing: frac %.3f%% ttf %.0f", rep.MaxWearFracPct, rep.ProjectedTTF)
+	}
+	if rep.WoreOut != nil || rep.WoreOutAt != 0 {
+		t.Fatal("healthy report marked worn out")
+	}
+}
+
+func TestProjectTTF(t *testing.T) {
+	if projectTTF(0, 100) != 0 || projectTTF(0.5, 0) != 0 {
+		t.Fatal("no-wear projection not zero")
+	}
+	if got := projectTTF(0.25, 1000); got != 4000 {
+		t.Fatalf("projectTTF(0.25, 1000) = %v, want 4000", got)
+	}
+	if got := projectTTF(1.5, 1000); got != 1000 {
+		t.Fatalf("projectTTF clamps at observed horizon, got %v", got)
+	}
+}
+
+func TestNilArraySafety(t *testing.T) {
+	var a *Array
+	if a.RecordWrite(0, 0, 1) || a.Retired(0, 0) || a.WearEnabled() {
+		t.Fatal("nil array reported activity")
+	}
+	a.RetireLoss(true)
+	a.RetentionLoss(false)
+	a.ScrubDone(1, 1)
+	a.Rotated(1)
+	if a.ScrubDue(1) || a.RotationDue() || a.Writes() != 0 || a.RetiredWays() != 0 {
+		t.Fatal("nil array due/state wrong")
+	}
+	if a.NextScrub() != math.MaxUint64 || a.Label() != "" || a.RetentionCycles() != 0 || a.ScrubPeriod() != 0 {
+		t.Fatal("nil array accessors wrong")
+	}
+	var tr *Tracker
+	if tr.NewArray("x", 0, 1, 1) != nil || tr.Exhausted() != nil {
+		t.Fatal("nil tracker produced state")
+	}
+	tr.ObserveCycle(5)
+	if tr.Params() != (Params{}) {
+		t.Fatal("nil tracker params non-zero")
+	}
+}

@@ -1,0 +1,104 @@
+package endurance
+
+import (
+	"testing"
+)
+
+// FuzzArray drives one Array through an arbitrary op sequence and
+// checks the structural invariants that the simulator relies on:
+// retired-way bookkeeping stays consistent, exhaustion fires exactly
+// when a set loses its last way, and the per-set wear counters always
+// sum to the total write count.
+func FuzzArray(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(int64(7), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Heavy single-way hammering: the fastest path to retirement and
+	// set exhaustion.
+	f.Add(int64(3), []byte{8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		const sets, assoc = 2, 2
+		tr := NewTracker(Params{
+			Seed: seed, BudgetMean: 6, BudgetSigma: 0.5,
+			RetentionCycles: 64, WearLevel: true, WearLevelPeriod: 8,
+		})
+		a := tr.NewArray("fuzz", 0, sets, assoc)
+		now := uint64(0)
+		for _, op := range ops {
+			now++
+			switch op % 10 {
+			case 0, 1, 2, 3: // spread writes
+				set, way := int(op/10)%sets, int(op/40)%assoc
+				retired := a.RecordWrite(set, way, now)
+				if retired {
+					a.RetireLoss(op%2 == 0)
+				}
+				if retired && !a.Retired(set, way) {
+					t.Fatalf("RecordWrite retired (%d,%d) but Retired reports live", set, way)
+				}
+			case 4:
+				a.RetentionLoss(op%2 == 0)
+			case 5:
+				if a.ScrubDue(now) {
+					a.ScrubDone(now, int(op)%3)
+					if a.ScrubDue(now) {
+						t.Fatalf("scrub still due at %d after ScrubDone", now)
+					}
+				}
+			case 6:
+				if a.RotationDue() {
+					a.Rotated(int(op) % 4)
+					if a.RotationDue() {
+						t.Fatal("rotation still due after Rotated")
+					}
+				}
+			case 7:
+				tr.ObserveCycle(now)
+			default: // hammer set op%sets, way op%assoc
+				set, way := int(op)%sets, int(op)%assoc
+				if a.RecordWrite(set, way, now) {
+					a.RetireLoss(false)
+				}
+			}
+		}
+
+		// Invariants.
+		retired := 0
+		exhaustedSet := -1
+		for s := 0; s < sets; s++ {
+			live := 0
+			for w := 0; w < assoc; w++ {
+				if a.Retired(s, w) {
+					retired++
+					// Retired ways must reject further writes.
+					if a.RecordWrite(s, w, now+1) {
+						t.Fatalf("retired way (%d,%d) retired twice", s, w)
+					}
+				} else {
+					live++
+				}
+			}
+			if live == 0 && exhaustedSet < 0 {
+				exhaustedSet = s
+			}
+		}
+		// The re-probes above count as array writes but never re-retire,
+		// so the bookkeeping still balances.
+		if a.RetiredWays() != retired {
+			t.Fatalf("RetiredWays = %d, counted %d", a.RetiredWays(), retired)
+		}
+		if (tr.Exhausted() != nil) != (exhaustedSet >= 0) {
+			t.Fatalf("Exhausted = %v but fully-retired set = %d", tr.Exhausted(), exhaustedSet)
+		}
+		var wearSum uint64
+		for _, w := range a.wear {
+			wearSum += w
+		}
+		if wearSum != a.writes {
+			t.Fatalf("set wear sum %d != writes %d", wearSum, a.writes)
+		}
+		rep := tr.Report(now + 1)
+		if rep.RetiredWays != retired || rep.Writes != a.writes {
+			t.Fatalf("report disagrees with array: %+v", rep)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package endurance
+
+import "respin/internal/telemetry"
+
+// AttachTelemetry registers the chip-wide endurance metrics on a
+// collector (conventionally a child scoped "endurance", yielding
+// endurance.writes, endurance.retired_ways, ...). All sources are lazy
+// closures sampled at snapshot time, which happens only at serial
+// points. Nil tracker or collector are no-ops.
+func (t *Tracker) AttachTelemetry(c *telemetry.Collector) {
+	if t == nil || !c.Enabled() {
+		return
+	}
+	sum := func(f func(*Array) uint64) func() uint64 {
+		return func() uint64 {
+			var s uint64
+			for _, a := range t.arrays {
+				s += f(a)
+			}
+			return s
+		}
+	}
+	c.RegisterCounter("writes", sum(func(a *Array) uint64 { return a.writes }))
+	c.RegisterCounter("retired_ways", sum(func(a *Array) uint64 { return uint64(a.retiredWays) }))
+	c.RegisterCounter("retire_losses", sum(func(a *Array) uint64 { return a.retireLosses }))
+	c.RegisterCounter("retire_losses_dirty", sum(func(a *Array) uint64 { return a.retireDirty }))
+	c.RegisterCounter("scrubs", sum(func(a *Array) uint64 { return a.scrubs }))
+	c.RegisterCounter("scrub_refreshes", sum(func(a *Array) uint64 { return a.scrubRefreshes }))
+	c.RegisterCounter("retention_losses", sum(func(a *Array) uint64 { return a.retentionLosses }))
+	c.RegisterCounter("retention_losses_dirty", sum(func(a *Array) uint64 { return a.retentionDirty }))
+	c.RegisterCounter("wearlevel_rotations", sum(func(a *Array) uint64 { return a.rotations }))
+	c.RegisterCounter("rotation_flush_writebacks", sum(func(a *Array) uint64 { return a.rotationFlush }))
+	c.RegisterGauge("max_set_wear", func() float64 {
+		var max uint64
+		for _, a := range t.arrays {
+			if m, _ := a.setWear(); m > max {
+				max = m
+			}
+		}
+		return float64(max)
+	})
+	c.RegisterGauge("mean_set_wear", func() float64 {
+		var sum, sets uint64
+		for _, a := range t.arrays {
+			for _, w := range a.wear {
+				sum += w
+			}
+			sets += uint64(len(a.wear))
+		}
+		if sets == 0 {
+			return 0
+		}
+		return float64(sum) / float64(sets)
+	})
+	c.RegisterGauge("max_wear_frac", func() float64 { return t.maxFrac() })
+	c.RegisterGauge("projected_ttf_cycles", func() float64 {
+		return projectTTF(t.maxFrac(), t.cycles)
+	})
+}
+
+// maxFrac returns the worst consumed-budget fraction across all arrays.
+func (t *Tracker) maxFrac() float64 {
+	frac := 0.0
+	for _, a := range t.arrays {
+		if f := a.maxWearFrac(); f > frac {
+			frac = f
+		}
+	}
+	return frac
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"respin/internal/config"
+	"respin/internal/endurance"
+	"respin/internal/report"
+	"respin/internal/sim"
+)
+
+// Endurance-sweep model parameters. Real MTJ endurance (~1e12 writes)
+// and retention (seconds) are unobservable within a 150k-instruction
+// run, so the sweep uses accelerated constants — small write budgets
+// and short retention — and reports the *projected* lifetime from the
+// observed wear rate; the wear-leveling comparison is meaningful
+// because both variants wear under identical acceleration.
+const (
+	endurBudgetMean = 3000
+	endurRetention  = 60_000
+	// endurWearPeriod rotates often enough that even short smoke-test
+	// quotas exercise the remapping.
+	endurWearPeriod = 8192
+)
+
+// EnduranceRow is one point of the endurance study.
+type EnduranceRow struct {
+	Label       string
+	ClusterSize int
+	// WearLevel marks the rotation-enabled variant; Clean marks the
+	// endurance-off baseline row.
+	WearLevel bool
+	Clean     bool
+	// Measured outcome.
+	Cycles   uint64
+	Slowdown float64 // time vs the same config endurance-free
+	// Endurance summary (zero for clean rows).
+	RetiredWays     int
+	TotalWays       int
+	MaxWearFracPct  float64
+	ProjectedTTF    float64 // projected cycles to first way retirement
+	Scrubs          uint64
+	RetentionLosses uint64
+	Rotations       uint64
+	// WoreOutAt is the cycle a set lost its last way (0 = survived).
+	WoreOutAt uint64
+}
+
+// EnduranceStudy is the wear-out/retention lifetime sweep: how fast the
+// shared-STT arrays consume their write budgets at each cluster size,
+// and how much projected lifetime the wear-leveling rotation buys back.
+type EnduranceStudy struct {
+	Bench string
+	Rows  []EnduranceRow
+}
+
+// EnduranceSweep runs the lifetime study on one representative
+// benchmark: SH-STT at cluster sizes 8/16/32, each with accelerated
+// wear+retention, wear-leveling off and on, against an endurance-free
+// baseline for slowdown. Larger clusters concentrate more cores'
+// writes on one shared L1/L2, so per-set wear — and therefore
+// projected lifetime — shifts with cluster size; the rotation variant
+// shows how much of that concentration wear-leveling spreads back out.
+// A run that wears out (a set loses its last way) is a valid sweep
+// outcome, recorded with its end-of-life cycle.
+func (r *Runner) EnduranceSweep() *EnduranceStudy {
+	bench := r.Benches[0]
+	if contains(r.Benches, "radix") {
+		bench = "radix"
+	}
+	st := &EnduranceStudy{Bench: bench}
+	sizes := []int{8, 16, 32}
+
+	// Enqueue every point up front so the pool stays saturated while
+	// the rows below consume results in order.
+	for _, cs := range sizes {
+		cs := cs
+		r.prefetch(
+			func() { r.runEndurance("clean", cs, bench, endurance.Params{}) },
+			func() { r.runEndurance("wear", cs, bench, r.endurancePoint(false)) },
+			func() { r.runEndurance("wear+wl", cs, bench, r.endurancePoint(true)) },
+		)
+	}
+
+	for _, cs := range sizes {
+		clean := r.runEndurance("clean", cs, bench, endurance.Params{})
+		st.addRow(fmt.Sprintf("SH-STT cl%d clean", cs), cs, true, clean, clean)
+		for _, wl := range []bool{false, true} {
+			tag, name := "wear", "endurance"
+			if wl {
+				tag, name = "wear+wl", "endurance+wear-level"
+			}
+			res := r.runEndurance(tag, cs, bench, r.endurancePoint(wl))
+			st.addRow(fmt.Sprintf("SH-STT cl%d %s", cs, name), cs, false, res, clean)
+		}
+	}
+	return st
+}
+
+// endurancePoint is the accelerated sweep configuration (wear-leveling
+// toggled per variant).
+func (r *Runner) endurancePoint(wearLevel bool) endurance.Params {
+	p := endurance.Params{
+		Seed:            r.faultSeed(),
+		BudgetMean:      endurBudgetMean,
+		RetentionCycles: endurRetention,
+		WearLevel:       wearLevel,
+	}
+	if wearLevel {
+		p.WearLevelPeriod = endurWearPeriod
+	}
+	return p
+}
+
+// runEndurance executes (or recalls, or joins) one endurance-modeled
+// simulation through the same singleflight pool as the plain runs. A
+// WearOutError is a recorded outcome, not a failure: the partial
+// result carries the end-of-life report and is cached like any other.
+func (r *Runner) runEndurance(tag string, clusterSize int, bench string, ep endurance.Params) sim.Result {
+	key := fmt.Sprintf("endur|%s|cl%d|%s|%d", tag, clusterSize, bench, r.Quota)
+	return r.shared(key, func() (sim.Result, error) {
+		cfg := config.NewWithCluster(config.SHSTT, config.Medium, clusterSize)
+		label := fmt.Sprintf("endur.%s.cl%d.%s", tag, clusterSize, bench)
+		res, err := r.runLabeled(label, cfg, bench, sim.Options{
+			QuotaInstr: r.Quota,
+			Seed:       r.Seed,
+			Endurance:  ep,
+		})
+		var wear *endurance.WearOutError
+		if errors.As(err, &wear) {
+			r.progressf("ran endur:%-10s cl%-2d %-14s: wore out at %d kcycles (%s set %d)\n",
+				tag, clusterSize, bench, wear.Cycle/1000, wear.Array, wear.Set)
+			return res, nil
+		}
+		if err != nil {
+			if r.ctx().Err() != nil {
+				return res, err
+			}
+			panic(fmt.Sprintf("experiments: endurance sweep %s cl%d %s (seed %d, endurance seed %d): %v",
+				tag, clusterSize, bench, r.Seed, ep.Seed, err))
+		}
+		r.progressf("ran endur:%-10s cl%-2d %-14s: %8d kcycles, %s\n",
+			tag, clusterSize, bench, res.Cycles/1000, fmtEnergy(res.EnergyPJ))
+		return res, nil
+	})
+}
+
+func (st *EnduranceStudy) addRow(label string, cs int, clean bool, res, base sim.Result) {
+	row := EnduranceRow{
+		Label:       label,
+		ClusterSize: cs,
+		Clean:       clean,
+		Cycles:      res.Cycles,
+	}
+	if base.Cycles > 0 {
+		row.Slowdown = float64(res.Cycles) / float64(base.Cycles)
+	}
+	if e := res.Endurance; e != nil {
+		row.WearLevel = e.WearLevel
+		row.RetiredWays = e.RetiredWays
+		row.TotalWays = e.TotalWays
+		row.MaxWearFracPct = e.MaxWearFracPct
+		row.ProjectedTTF = e.ProjectedTTF
+		row.Scrubs = e.Scrubs
+		row.RetentionLosses = e.RetentionLosses
+		row.Rotations = e.Rotations
+		row.WoreOutAt = e.WoreOutAt
+	}
+	st.Rows = append(st.Rows, row)
+}
+
+// Render prints the lifetime table.
+func (st *EnduranceStudy) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("STT endurance & retention: lifetime vs cluster size and wear-leveling (%s, medium, accelerated wear)", st.Bench),
+		"scenario", "time", "retired ways", "max wear", "proj lifetime",
+		"scrubs", "ret losses", "rotations", "wore out")
+	for _, row := range st.Rows {
+		retired, wear, life, scrubs, losses, rot, wore := "-", "-", "-", "-", "-", "-", "-"
+		if !row.Clean {
+			retired = fmt.Sprintf("%d/%d", row.RetiredWays, row.TotalWays)
+			wear = fmt.Sprintf("%.1f%%", row.MaxWearFracPct)
+			if row.ProjectedTTF > 0 {
+				life = fmt.Sprintf("%.2f Mcyc", row.ProjectedTTF/1e6)
+			}
+			scrubs = fmt.Sprintf("%d", row.Scrubs)
+			losses = fmt.Sprintf("%d", row.RetentionLosses)
+			rot = fmt.Sprintf("%d", row.Rotations)
+			if row.WoreOutAt > 0 {
+				wore = fmt.Sprintf("cycle %d", row.WoreOutAt)
+			} else {
+				wore = "no"
+			}
+		}
+		t.AddRow(row.Label,
+			fmt.Sprintf("%.3fx", row.Slowdown),
+			retired, wear, life, scrubs, losses, rot, wore)
+	}
+	return t.String()
+}

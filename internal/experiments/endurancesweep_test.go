@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnduranceSweepShape(t *testing.T) {
+	r := tinyRunner()
+	r.Quota = 10_000
+	st := r.EnduranceSweep()
+	if st.Bench != "radix" {
+		t.Errorf("sweep ran on %s, want radix", st.Bench)
+	}
+	// Three cluster sizes x (clean, wear, wear+wl).
+	if len(st.Rows) != 9 {
+		t.Fatalf("sweep produced %d rows, want 9", len(st.Rows))
+	}
+	for i, row := range st.Rows {
+		clean := i%3 == 0
+		if row.Clean != clean {
+			t.Fatalf("row %d (%s): Clean = %v, want %v", i, row.Label, row.Clean, clean)
+		}
+		if clean {
+			if row.Slowdown != 1 {
+				t.Errorf("%s: clean baseline slowdown %.3fx", row.Label, row.Slowdown)
+			}
+			if row.RetiredWays != 0 || row.Scrubs != 0 {
+				t.Errorf("%s: clean row carries endurance state", row.Label)
+			}
+			continue
+		}
+		// Endurance rows observe wear and scrub activity, and project a
+		// lifetime unless the run wore out first.
+		if row.MaxWearFracPct <= 0 {
+			t.Errorf("%s: no wear observed", row.Label)
+		}
+		if row.Scrubs == 0 {
+			t.Errorf("%s: no scrub passes", row.Label)
+		}
+		if row.ProjectedTTF <= 0 && row.WoreOutAt == 0 {
+			t.Errorf("%s: neither a lifetime projection nor a wear-out", row.Label)
+		}
+		wantWL := i%3 == 2
+		if row.WearLevel != wantWL {
+			t.Errorf("%s: WearLevel = %v, want %v", row.Label, row.WearLevel, wantWL)
+		}
+		if wantWL && row.Rotations == 0 {
+			t.Errorf("%s: wear-leveling row never rotated", row.Label)
+		}
+	}
+	out := st.Render()
+	for _, frag := range []string{"endurance", "wear-leveling", "cl8", "cl32", "proj lifetime"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}

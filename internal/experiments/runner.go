@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"respin/internal/config"
+	"respin/internal/endurance"
 	"respin/internal/sim"
 	"respin/internal/stats"
 	"respin/internal/telemetry"
@@ -38,6 +39,11 @@ type Runner struct {
 	// FaultSeed drives fault-injection randomness in the fault sweep
 	// (deliberately distinct from Seed); zero selects 1.
 	FaultSeed int64
+	// Endurance is applied uniformly to every simulation the runner
+	// executes (the endurance sweep overrides it per point). The zero
+	// value disables the model, reproducing pre-endurance runs
+	// bit-identically.
+	Endurance endurance.Params
 	// Benches is the benchmark list (default: all 13).
 	Benches []string
 	// Progress, when non-nil, receives one line per completed run.
@@ -385,6 +391,9 @@ func runLabel(cfg config.Config, bench string, quota uint64, epochTrace bool) st
 // "run.<label>." once the run completes.
 func (r *Runner) runLabeled(label string, cfg config.Config, bench string, opts sim.Options) (sim.Result, error) {
 	opts.Workers = r.Workers
+	if !opts.Endurance.Enabled() {
+		opts.Endurance = r.Endurance
+	}
 	if r.Telemetry.Enabled() {
 		opts.Telemetry = telemetry.New(
 			telemetry.WithEmitter(r.Telemetry.Emitter()),

@@ -46,9 +46,21 @@ import (
 // from the fault seed, so adding draws to one mechanism cannot shift
 // another's sequence.
 const (
-	sttStreamSalt  = 0x5151
-	sramStreamSalt = 0xECC0
+	sttStreamSalt       = 0x5151
+	sramStreamSalt      = 0xECC0
+	enduranceStreamSalt = 0xEDC5
 )
+
+// DeriveStreamSeed mixes the robustness seed and a per-unit salt into
+// an independent stream seed, using the same derivation pattern as
+// Injector.Derive but a mechanism salt and multiplier of its own so the
+// resulting stream never collides with the per-cluster fault streams.
+// Package endurance seeds its per-array budget RNGs through this, so
+// budget sampling shares the fault layer's determinism guarantees: a
+// pure function of (seed, salt), independent of evaluation order.
+func DeriveStreamSeed(seed, salt int64) int64 {
+	return seed*71 + enduranceStreamSalt + (salt+1)*2_860_486_313
+}
 
 // DefaultMaxWriteRetries bounds the write-verify-retry loop. Eight
 // attempts drive the residual failure probability of a p=0.01 cell below
@@ -108,13 +120,35 @@ func (p Params) Enabled() bool {
 	return p.STTWriteFailProb > 0 || p.SRAMBitFlipPerCell != 0 || len(p.Kills) > 0
 }
 
-// Validate checks rates and kill coordinates against the chip shape.
+// MaxRetryBound caps MaxWriteRetries: beyond a few hundred attempts a
+// real controller has long since declared the line bad, and the
+// verify-retry loop would otherwise dominate the simulation.
+const MaxRetryBound = 1 << 10
+
+// Validate checks rates, retry bounds, and kill coordinates against the
+// chip shape. NaN and infinite rates are rejected explicitly — they
+// would otherwise poison every downstream probability comparison
+// silently (NaN compares false against everything).
 func (p Params) Validate(numClusters, clusterSize int) error {
+	if math.IsNaN(p.STTWriteFailProb) || math.IsInf(p.STTWriteFailProb, 0) {
+		return fmt.Errorf("faults: STT write-fail probability %g is not finite", p.STTWriteFailProb)
+	}
 	if p.STTWriteFailProb < 0 || p.STTWriteFailProb >= 1 {
 		return fmt.Errorf("faults: STT write-fail probability %g outside [0,1)", p.STTWriteFailProb)
 	}
+	// Negative SRAMBitFlipPerCell is meaningful ("derive from the
+	// rail") but must still be finite.
+	if math.IsNaN(p.SRAMBitFlipPerCell) || math.IsInf(p.SRAMBitFlipPerCell, 0) {
+		return fmt.Errorf("faults: SRAM bit-flip probability %g is not finite", p.SRAMBitFlipPerCell)
+	}
 	if p.SRAMBitFlipPerCell >= 1 {
 		return fmt.Errorf("faults: SRAM bit-flip probability %g must be below 1", p.SRAMBitFlipPerCell)
+	}
+	if p.MaxWriteRetries < 0 {
+		return fmt.Errorf("faults: max write retries %d is negative (zero selects the default)", p.MaxWriteRetries)
+	}
+	if p.MaxWriteRetries > MaxRetryBound {
+		return fmt.Errorf("faults: max write retries %d exceeds bound %d", p.MaxWriteRetries, MaxRetryBound)
 	}
 	for i, k := range p.Kills {
 		if k.Cluster < 0 || k.Cluster >= numClusters {

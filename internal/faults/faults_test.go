@@ -1,6 +1,9 @@
 package faults
 
 import (
+	"fmt"
+	"math"
+	"strings"
 	"testing"
 
 	"respin/internal/reliability"
@@ -216,6 +219,62 @@ func TestKillFirstN(t *testing.T) {
 	for _, k := range kills {
 		if k.Core >= 2 || k.Cycle != 1000 {
 			t.Errorf("unexpected kill %+v", k)
+		}
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Params
+		wantErr string
+	}{
+		{name: "zero params", p: Params{}},
+		{name: "rail-derived SRAM rate", p: Params{SRAMBitFlipPerCell: -1}},
+		{name: "valid rates", p: Params{STTWriteFailProb: 0.01, SRAMBitFlipPerCell: 1e-6, MaxWriteRetries: 8}},
+		{name: "max retry bound", p: Params{MaxWriteRetries: MaxRetryBound}},
+
+		{name: "nan stt rate", p: Params{STTWriteFailProb: math.NaN()}, wantErr: "not finite"},
+		{name: "inf stt rate", p: Params{STTWriteFailProb: math.Inf(1)}, wantErr: "not finite"},
+		{name: "negative stt rate", p: Params{STTWriteFailProb: -0.1}, wantErr: "outside [0,1)"},
+		{name: "stt rate of one", p: Params{STTWriteFailProb: 1}, wantErr: "outside [0,1)"},
+		{name: "nan sram rate", p: Params{SRAMBitFlipPerCell: math.NaN()}, wantErr: "not finite"},
+		{name: "neg-inf sram rate", p: Params{SRAMBitFlipPerCell: math.Inf(-1)}, wantErr: "not finite"},
+		{name: "sram rate of one", p: Params{SRAMBitFlipPerCell: 1}, wantErr: "below 1"},
+		{name: "negative retries", p: Params{MaxWriteRetries: -1}, wantErr: "negative"},
+		{name: "retries beyond bound", p: Params{MaxWriteRetries: MaxRetryBound + 1}, wantErr: "exceeds bound"},
+		{name: "kill cluster out of range", p: Params{Kills: []KillSpec{{Cluster: 4}}}, wantErr: "targets cluster"},
+		{name: "kill core out of range", p: Params{Kills: []KillSpec{{Core: 16}}}, wantErr: "targets core"},
+		{name: "kill negative cluster", p: Params{Kills: []KillSpec{{Cluster: -1}}}, wantErr: "targets cluster"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate(4, 16)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDeriveStreamSeedDistinct(t *testing.T) {
+	// The endurance derivation must give distinct streams per salt and
+	// per seed, and must not collide with the injector's own per-cluster
+	// derivation for small salts.
+	seen := map[int64]string{}
+	for seed := int64(1); seed <= 3; seed++ {
+		for salt := int64(-2); salt <= 8; salt++ {
+			s := DeriveStreamSeed(seed, salt)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("DeriveStreamSeed collision: (%d,%d) and %s", seed, salt, prev)
+			}
+			seen[s] = fmt.Sprintf("(%d,%d)", seed, salt)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"respin/internal/config"
+	"respin/internal/endurance"
 	"respin/internal/faults"
 	"respin/internal/stats"
 )
@@ -38,6 +39,10 @@ type way struct {
 	tag   uint64 // block address (addr >> blockShift)
 	state LineState
 	used  uint64 // LRU timestamp
+	// written is the cache cycle of the last data write, the retention
+	// deadline anchor for relaxed-retention STT arrays (unused unless
+	// an endurance model with retention is attached).
+	written uint64
 }
 
 // AccessResult reports the outcome of a cache access or fill.
@@ -52,6 +57,10 @@ type AccessResult struct {
 	EvictedState LineState
 	// Writeback is true when the displaced line was dirty.
 	Writeback bool
+	// Bypassed is true when a fill found every way of the target set
+	// permanently retired (endurance wear-out): nothing was installed
+	// and the access stream continues uncached for that set.
+	Bypassed bool
 }
 
 // Stats aggregates cache event counts.
@@ -90,7 +99,17 @@ type Cache struct {
 	blockShift uint
 	tick       uint64
 	faults     *faults.Injector
-	Stats      Stats
+	// endur, when attached, models finite write endurance and relaxed
+	// retention for STT arrays. retention/scrubPeriod cache the
+	// attached model's deadlines; now is the owner-advanced cache-cycle
+	// clock retention stamps are taken from; rotation is the
+	// wear-leveling set-index offset.
+	endur       *endurance.Array
+	retention   uint64
+	scrubPeriod uint64
+	now         uint64
+	rotation    uint64
+	Stats       Stats
 }
 
 // NewCache builds a cache from validated geometry parameters.
@@ -128,41 +147,76 @@ func (c *Cache) Params() config.CacheParams { return c.params }
 // per the injector's ECC scheme. A nil injector detaches.
 func (c *Cache) AttachFaults(in *faults.Injector) { c.faults = in }
 
+// AttachEndurance connects an endurance/retention model: data-array
+// writes charge per-way budgets (retiring exhausted ways), lines carry
+// retention deadlines, and fills skip retired ways. The owner must keep
+// the cache clock current via SetNow and drive Scrub when a.ScrubDue.
+// A nil array detaches.
+func (c *Cache) AttachEndurance(a *endurance.Array) {
+	c.endur = a
+	c.retention = a.RetentionCycles()
+	c.scrubPeriod = a.ScrubPeriod()
+}
+
+// Endurance returns the attached endurance model (nil when detached).
+func (c *Cache) Endurance() *endurance.Array { return c.endur }
+
+// SetNow advances the cache-cycle clock used for retention stamping.
+// Owners call it at deterministic points (cluster tick, L3 drain), so
+// stamps never depend on worker interleave.
+func (c *Cache) SetNow(now uint64) {
+	if now > c.now {
+		c.now = now
+	}
+}
+
 // BlockAddr returns the block-aligned identifier for a byte address.
 func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift }
 
-// setIndex maps a block address to its set.
+// setIndex maps a block address to its set. The wear-leveling rotation
+// offset (zero unless the endurance model rotates) remaps the whole
+// index space so hot sets migrate across the array.
 func (c *Cache) setIndex(block uint64) uint64 {
+	block += c.rotation
 	if c.maskable {
 		return block & c.setMask
 	}
 	return block % c.numSets
 }
 
-// find returns the way slice of the set and the index of the block
-// within it, or -1.
-func (c *Cache) find(block uint64) ([]way, int) {
+// find returns the way slice of the set, the set index, and the index
+// of the block within the set, or -1.
+func (c *Cache) find(block uint64) ([]way, uint64, int) {
 	si := c.setIndex(block)
 	set := c.sets[si*uint64(c.assoc) : (si+1)*uint64(c.assoc)]
 	for i := range set {
 		if set[i].state != StateInvalid && set[i].tag == block {
-			return set, i
+			return set, si, i
 		}
 	}
-	return set, -1
+	return set, si, -1
+}
+
+// expired reports whether a valid line's retention deadline has passed
+// (always false without an attached retention model). Pure observers
+// (State, Contains) use it without mutating; mutation entry points
+// (Access, FillState, SetState, Invalidate, Scrub) reap expired lines
+// and account the loss.
+func (c *Cache) expired(w *way) bool {
+	return c.retention > 0 && w.state != StateInvalid && c.now-w.written > c.retention
 }
 
 // Contains probes for a block without updating LRU or stats.
 func (c *Cache) Contains(addr uint64) bool {
-	_, i := c.find(c.BlockAddr(addr))
-	return i >= 0
+	set, _, i := c.find(c.BlockAddr(addr))
+	return i >= 0 && !c.expired(&set[i])
 }
 
-// State returns the line state of a block (StateInvalid if absent),
-// without updating LRU or stats.
+// State returns the line state of a block (StateInvalid if absent or
+// retention-expired), without updating LRU or stats.
 func (c *Cache) State(addr uint64) LineState {
-	set, i := c.find(c.BlockAddr(addr))
-	if i < 0 {
+	set, _, i := c.find(c.BlockAddr(addr))
+	if i < 0 || c.expired(&set[i]) {
 		return StateInvalid
 	}
 	return set[i].state
@@ -179,7 +233,17 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	} else {
 		c.Stats.Reads.Inc()
 	}
-	set, i := c.find(block)
+	set, si, i := c.find(block)
+	if i >= 0 && c.expired(&set[i]) {
+		// The line's retention deadline passed before anything touched
+		// it: the data is gone. Reap it and fall through to the miss
+		// path — the caller's normal miss handling re-fetches the block
+		// from below, which is exactly the "retention loss charged as a
+		// re-fetch" cost model.
+		c.endur.RetentionLoss(set[i].state == StateDirty)
+		set[i].state = StateInvalid
+		i = -1
+	}
 	if i < 0 {
 		if write {
 			c.Stats.WriteMisses.Inc()
@@ -191,6 +255,9 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	set[i].used = c.tick
 	if write {
 		set[i].state = StateDirty
+		set[i].written = c.now
+		c.recordWrite(set, si, i)
+		c.maybeRotate()
 	} else if c.faults != nil {
 		switch c.faults.SRAMRead() {
 		case faults.ReadCorrected:
@@ -200,6 +267,35 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 		}
 	}
 	return AccessResult{Hit: true}
+}
+
+// recordWrite charges one data-array write against (si, wi) on the
+// attached endurance model and handles way retirement: a way whose
+// budget just ran out is dead silicon, so whatever line it held is
+// dropped on the spot (the next access misses and re-fetches).
+func (c *Cache) recordWrite(set []way, si uint64, wi int) {
+	if c.endur == nil {
+		return
+	}
+	if c.endur.RecordWrite(int(si), wi, c.now) {
+		c.endur.RetireLoss(set[wi].state == StateDirty)
+		set[wi].state = StateInvalid
+	}
+}
+
+// maybeRotate advances the wear-leveling set-index rotation once enough
+// writes accrued. Remapping invalidates every resident tag's set
+// assignment, so the rotation flushes the array (dirty lines write
+// back, counted in Stats and in the endurance rotation accounting) —
+// the Mittal-style trade: pay a periodic flush to spread hot-set wear
+// across all sets.
+func (c *Cache) maybeRotate() {
+	if c.endur == nil || !c.endur.RotationDue() {
+		return
+	}
+	wb := c.Clear()
+	c.rotation++
+	c.endur.Rotated(wb)
 }
 
 // Fill allocates a block (after a miss was serviced by the next level),
@@ -221,35 +317,65 @@ func (c *Cache) FillState(addr uint64, st LineState) AccessResult {
 	block := c.BlockAddr(addr)
 	c.tick++
 	c.Stats.FillsFromLowerLevel.Inc()
-	set, i := c.find(block)
+	set, si, i := c.find(block)
 	if i >= 0 {
-		// Refill of a present block just updates state.
+		// Refill of a present block updates state; the incoming data
+		// replaces whatever the line held, so an expired old copy only
+		// matters for loss accounting (its data was already gone).
+		if c.expired(&set[i]) {
+			c.endur.RetentionLoss(set[i].state == StateDirty)
+		}
 		set[i].state = st
 		set[i].used = c.tick
+		set[i].written = c.now
+		c.recordWrite(set, si, i)
+		c.maybeRotate()
 		return AccessResult{Hit: true}
 	}
-	victim := 0
-	for j := 1; j < len(set); j++ {
+	// Victim selection skips permanently retired ways: the array keeps
+	// operating at reduced associativity. A set with no live way left
+	// cannot hold the block at all — the fill is bypassed (and the
+	// wear-out is already recorded as the array's end of life).
+	victim := -1
+	for j := 0; j < len(set); j++ {
+		if c.endur.Retired(int(si), j) {
+			continue
+		}
 		if set[j].state == StateInvalid {
 			victim = j
 			break
 		}
-		if set[victim].state != StateInvalid && set[j].used < set[victim].used {
+		if victim < 0 || set[victim].state != StateInvalid && set[j].used < set[victim].used {
 			victim = j
 		}
 	}
+	if victim < 0 {
+		return AccessResult{Bypassed: true}
+	}
 	res := AccessResult{}
 	if set[victim].state != StateInvalid {
-		res.Evicted = true
-		res.EvictedAddr = set[victim].tag << c.blockShift
-		res.EvictedState = set[victim].state
-		res.Writeback = set[victim].state == StateDirty
-		c.Stats.Evictions.Inc()
-		if res.Writeback {
-			c.Stats.Writebacks.Inc()
+		if c.expired(&set[victim]) {
+			// The victim expired before eviction: its data is lost, so
+			// no writeback happens — the loss is accounted instead.
+			c.endur.RetentionLoss(set[victim].state == StateDirty)
+			res.Evicted = true
+			res.EvictedAddr = set[victim].tag << c.blockShift
+			res.EvictedState = set[victim].state
+			c.Stats.Evictions.Inc()
+		} else {
+			res.Evicted = true
+			res.EvictedAddr = set[victim].tag << c.blockShift
+			res.EvictedState = set[victim].state
+			res.Writeback = set[victim].state == StateDirty
+			c.Stats.Evictions.Inc()
+			if res.Writeback {
+				c.Stats.Writebacks.Inc()
+			}
 		}
 	}
-	set[victim] = way{tag: block, state: st, used: c.tick}
+	set[victim] = way{tag: block, state: st, used: c.tick, written: c.now}
+	c.recordWrite(set, si, victim)
+	c.maybeRotate()
 	return res
 }
 
@@ -259,8 +385,13 @@ func (c *Cache) SetState(addr uint64, st LineState) bool {
 	if st == StateInvalid {
 		return c.Invalidate(addr).Hit
 	}
-	set, i := c.find(c.BlockAddr(addr))
+	set, _, i := c.find(c.BlockAddr(addr))
 	if i < 0 {
+		return false
+	}
+	if c.expired(&set[i]) {
+		c.endur.RetentionLoss(set[i].state == StateDirty)
+		set[i].state = StateInvalid
 		return false
 	}
 	set[i].state = st
@@ -268,10 +399,17 @@ func (c *Cache) SetState(addr uint64, st LineState) bool {
 }
 
 // Invalidate removes a block. The result reports presence and whether
-// the invalidated line was dirty (Writeback set).
+// the invalidated line was dirty (Writeback set). A retention-expired
+// line is reaped as a loss and reported absent — its data no longer
+// exists, so there is nothing to invalidate or write back.
 func (c *Cache) Invalidate(addr uint64) AccessResult {
-	set, i := c.find(c.BlockAddr(addr))
+	set, _, i := c.find(c.BlockAddr(addr))
 	if i < 0 {
+		return AccessResult{}
+	}
+	if c.expired(&set[i]) {
+		c.endur.RetentionLoss(set[i].state == StateDirty)
+		set[i].state = StateInvalid
 		return AccessResult{}
 	}
 	dirty := set[i].state == StateDirty
@@ -313,4 +451,45 @@ func (c *Cache) Clear() (writebacks int) {
 		}
 	}
 	return writebacks
+}
+
+// LiveCapacity returns the number of ways still in service (Capacity
+// minus permanently retired ways).
+func (c *Cache) LiveCapacity() int {
+	return len(c.sets) - c.endur.RetiredWays()
+}
+
+// Scrub performs one background retention scrub pass at cycle now:
+// every valid line is inspected, lines whose deadline already passed
+// are reaped as retention losses, and lines that would expire before
+// the next pass are refreshed (rewritten in place — a real data-array
+// write, so refreshes both reset the retention deadline and consume
+// endurance budget). It returns the number of lines refreshed so the
+// owner can charge the write energy. No-op without a retention model.
+func (c *Cache) Scrub(now uint64) (refreshed int) {
+	if c.endur == nil || c.retention == 0 {
+		return 0
+	}
+	c.SetNow(now)
+	for si := uint64(0); si < c.numSets; si++ {
+		set := c.sets[si*uint64(c.assoc) : (si+1)*uint64(c.assoc)]
+		for w := range set {
+			if set[w].state == StateInvalid {
+				continue
+			}
+			if c.expired(&set[w]) {
+				c.endur.RetentionLoss(set[w].state == StateDirty)
+				set[w].state = StateInvalid
+				continue
+			}
+			if set[w].written+c.retention < now+c.scrubPeriod {
+				set[w].written = now
+				refreshed++
+				c.recordWrite(set, si, w)
+			}
+		}
+	}
+	c.endur.ScrubDone(now, refreshed)
+	c.maybeRotate()
+	return refreshed
 }

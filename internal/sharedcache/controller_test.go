@@ -435,3 +435,88 @@ func TestCycleAccessor(t *testing.T) {
 		t.Fatalf("cycle = %d, want 2", c.Cycle())
 	}
 }
+
+func TestTrySkipIdleZeroCycles(t *testing.T) {
+	c := New(2)
+	if err := c.TrySkipIdle(0); err != nil {
+		t.Fatalf("k=0 skip on idle controller: %v", err)
+	}
+	if c.Cycle() != 0 {
+		t.Fatalf("k=0 skip advanced the clock to %d", c.Cycle())
+	}
+	if c.Stats.ArrivalsPerCycle.Total() != 0 {
+		t.Fatal("k=0 skip recorded arrival samples")
+	}
+}
+
+// TestTrySkipIdleEquivalentToTicking: skipping exactly to the next wake
+// cycle must be bit-identical to ticking through the idle gap — same
+// clock, same service cycles, same arrival histogram.
+func TestTrySkipIdleEquivalentToTicking(t *testing.T) {
+	const gap = 37
+	slow, fast := New(2, WithSeed(3)), New(2, WithSeed(3))
+	for i := 0; i < gap; i++ {
+		if got := slow.Tick(); len(got) != 0 {
+			t.Fatal("idle tick serviced something")
+		}
+	}
+	if err := fast.TrySkipIdle(gap); err != nil {
+		t.Fatalf("skip over idle gap: %v", err)
+	}
+	if slow.Cycle() != fast.Cycle() {
+		t.Fatalf("clocks diverged: ticked %d vs skipped %d", slow.Cycle(), fast.Cycle())
+	}
+	// The wake-up request is serviced on the same cycle either way.
+	slow.Submit(Request{Core: 0, Multiple: 4, Tag: 1})
+	fast.Submit(Request{Core: 0, Multiple: 4, Tag: 1})
+	var sDone, fDone []Serviced
+	for i := 0; i < 8; i++ {
+		sDone = append(sDone, slow.Tick()...)
+		fDone = append(fDone, fast.Tick()...)
+	}
+	if len(sDone) != 1 || len(fDone) != 1 || sDone[0].Cycle != fDone[0].Cycle {
+		t.Fatalf("service diverged: ticked %+v vs skipped %+v", sDone, fDone)
+	}
+	if slow.Stats.ArrivalsPerCycle.Total() != fast.Stats.ArrivalsPerCycle.Total() ||
+		slow.Stats.ArrivalsPerCycle.Fraction(0) != fast.Stats.ArrivalsPerCycle.Fraction(0) {
+		t.Fatal("arrival histograms diverged")
+	}
+}
+
+// TestTrySkipIdleWhileStoreHeld: a held store-buffer slot is occupancy
+// accounting for the owning core, not in-flight controller state —
+// Idle deliberately ignores it, so the fast-forward may skip while a
+// store is held and the slot survives the jump intact.
+func TestTrySkipIdleWhileStoreHeld(t *testing.T) {
+	c := New(2, WithStoreBufferDepth(1))
+	c.HoldStore(0)
+	if err := c.TrySkipIdle(100); err != nil {
+		t.Fatalf("skip with held store: %v", err)
+	}
+	if c.Cycle() != 100 {
+		t.Fatalf("cycle = %d, want 100", c.Cycle())
+	}
+	if c.CanSubmitWrite(0) {
+		t.Fatal("skip leaked the held store slot")
+	}
+	c.ReleaseStore(0)
+	if !c.CanSubmitWrite(0) {
+		t.Fatal("slot not released after skip")
+	}
+}
+
+func TestTrySkipIdleRefusesBusyController(t *testing.T) {
+	c := New(2)
+	c.Submit(Request{Core: 0, Multiple: 4, Tag: 1})
+	if err := c.TrySkipIdle(50); err != ErrNotIdle {
+		t.Fatalf("skip over in-flight request: err = %v, want ErrNotIdle", err)
+	}
+	if c.Cycle() != 0 {
+		t.Fatal("refused skip still advanced the clock")
+	}
+	// The request is untouched and completes on schedule.
+	done := runTicks(c, 8)
+	if len(done) != 1 || done[0].Cycle != 2 {
+		t.Fatalf("post-refusal service = %+v, want completion at cycle 2", done)
+	}
+}

@@ -76,6 +76,11 @@ func FuzzControllerFaults(f *testing.F) {
 	f.Add([]byte{0x01, 0x82, 0x13, 0x00, 0xff, 0x41}, uint8(10), int64(1))
 	f.Add([]byte{0x0f, 0x0e, 0x0d, 0x0c, 0x0b, 0x0a, 0x09, 0x08}, uint8(200), int64(9))
 	f.Add([]byte{0xff, 0x08, 0x08, 0x08}, uint8(255), int64(3))
+	// All-write hammer at the maximum failure rate: every store burns
+	// through its full retry budget and retires via the abort path, so
+	// the retry-exhaustion machinery runs on the seed corpus itself.
+	f.Add([]byte{0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
+		0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}, uint8(255), int64(5))
 	f.Fuzz(func(t *testing.T, schedule []byte, rate uint8, seed int64) {
 		if len(schedule) > 4096 {
 			schedule = schedule[:4096]

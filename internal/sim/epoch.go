@@ -453,5 +453,12 @@ func (s *Sim) nextWake(killPending bool, nextKill uint64) (uint64, bool) {
 	if killPending {
 		wake = min(wake, nextKill)
 	}
+	// The L3's retention scrub deadline bounds chip-level jumps (cluster
+	// scrub deadlines already bound each cluster's own NextWake). The
+	// scrub itself still runs at the next epoch boundary after the
+	// deadline — a bounded, deterministic lag of at most one epoch.
+	if s.endurL3 != nil {
+		wake = min(wake, s.endurL3.NextScrub())
+	}
 	return wake, true
 }

@@ -5,6 +5,7 @@ import (
 
 	"respin/internal/cluster"
 	"respin/internal/config"
+	"respin/internal/endurance"
 	"respin/internal/faults"
 	"respin/internal/power"
 	"respin/internal/stats"
@@ -47,6 +48,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Stats        cluster.Stats       `json:"stats"`
 		Faults       faults.Counts       `json:"faults"`
 		DeadCores    int                 `json:"dead_cores"`
+		Endurance    *endurance.Report   `json:"endurance,omitempty"`
 		Metrics      *telemetry.Snapshot `json:"metrics,omitempty"`
 	}{
 		Config: cfgWire{
@@ -75,6 +77,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Stats:        r.Stats,
 		Faults:       r.Faults,
 		DeadCores:    r.DeadCores,
+		Endurance:    r.Endurance,
 		Metrics:      r.Metrics,
 	}
 	return json.Marshal(wire)

@@ -13,6 +13,7 @@ import (
 	"respin/internal/cluster"
 	"respin/internal/config"
 	"respin/internal/consolidation"
+	"respin/internal/endurance"
 	"respin/internal/faults"
 	"respin/internal/mem"
 	"respin/internal/power"
@@ -49,6 +50,12 @@ type Options struct {
 	// negative SRAMBitFlipPerCell derives the rate from the cache rail
 	// (reliability.CellFailProb at the configuration's CacheVdd).
 	Faults faults.Params
+	// Endurance configures the STT wear/retention model; the zero value
+	// disables it and reproduces pre-endurance runs bit-identically.
+	// Ignored (with zero cost) for SRAM-technology configurations. A
+	// zero Endurance.Seed derives from Faults.Seed so one knob controls
+	// all robustness randomness.
+	Endurance endurance.Params
 	// DisableFastForward forces the cycle-exact slow path: every cache
 	// cycle is ticked even when no cluster has runnable work. Results
 	// are bit-identical either way (the equivalence test enforces it);
@@ -106,6 +113,12 @@ func (o *Options) Normalize() error {
 	if o.Faults.MaxWriteRetries < 0 {
 		return fmt.Errorf("sim: negative fault write-retry budget %d", o.Faults.MaxWriteRetries)
 	}
+	if o.Endurance.Seed == 0 {
+		o.Endurance.Seed = o.Faults.Seed
+	}
+	if err := o.Endurance.Normalize(); err != nil {
+		return err
+	}
 	if o.Workers < 0 {
 		return fmt.Errorf("sim: negative worker count %d", o.Workers)
 	}
@@ -150,6 +163,10 @@ type Result struct {
 	// Faults counts injected-fault events (all zero when no fault
 	// injection was configured).
 	Faults faults.Counts
+	// Endurance is the wear/retention summary and lifetime projection;
+	// nil unless the endurance model was enabled (keeping disabled
+	// results byte-identical to pre-endurance output).
+	Endurance *endurance.Report
 	// DeadCores is the chip-wide count of killed physical cores.
 	DeadCores int
 	// Metrics is the telemetry snapshot taken at collection time; nil
@@ -179,6 +196,10 @@ type Sim struct {
 	dram       *mem.DRAM
 	l3Meter    power.Meter
 	faults     *faults.Injector
+	// endur is the chip-wide wear/retention tracker (nil when the
+	// model is off); endurL3 is the L3's array state within it.
+	endur   *endurance.Tracker
+	endurL3 *endurance.Array
 
 	trace     stats.TimeSeries
 	activeSum stats.Summary
@@ -248,6 +269,14 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 	if s.faults != nil && cfg.Tech == config.SRAM {
 		s.l3.AttachFaults(s.faults)
 	}
+	// Endurance/retention is an STT failure mode; SRAM configurations
+	// ignore the knobs entirely so sweeps can set them uniformly.
+	if opts.Endurance.Enabled() && cfg.Tech == config.STTRAM {
+		s.endur = endurance.NewTracker(opts.Endurance)
+		l3p := cfg.Hierarchy.L3
+		s.endurL3 = s.endur.NewArray("l3", -2, l3p.Sets(), l3p.Assoc)
+		s.l3.AttachEndurance(s.endurL3)
+	}
 
 	// Epoch length: the lookahead bound is the minimum L3 round trip
 	// (every buffered request's completion lands at least L2Read+L3Read
@@ -280,6 +309,7 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 			// injector keeps the kill schedule and the L3's draws.
 			Faults:    s.faults.Derive(int64(i)),
 			Telemetry: s.tel.Child(fmt.Sprintf("cluster.%d", i)),
+			Endurance: s.endur,
 		})
 		cr := &clusterRunner{cl: s.clus[i], mgr: s.newManager()}
 		cr.logU = s.clus[i].Unfinished()
@@ -318,6 +348,11 @@ func (s *Sim) l3Access(start uint64, addr uint64, write bool) uint64 {
 		start = s.l3NextFree
 	}
 	s.l3NextFree = start + l3OccupancyCycles
+	if s.endurL3 != nil {
+		// Keep the L3 retention clock current: drains present requests
+		// in deterministic global order, so stamps are too.
+		s.l3.SetNow(start)
+	}
 	e := &s.chip.Energies
 	lat := uint64(s.chip.Latencies.L3Read)
 	if write {
@@ -483,6 +518,19 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 			}
 		}
 
+		// Endurance housekeeping at epoch granularity: scrub the shared
+		// L3, then check for end-of-life. Wear-out terminates the run
+		// with a structured error and the partial result — the
+		// degraded-capacity regime before this point is the graceful
+		// part; a set with no live ways left cannot be glossed over.
+		if s.endur != nil {
+			s.endurTick(now)
+			if ex := s.endur.Exhausted(); ex != nil {
+				s.emitEnd("run.wearout", now)
+				return s.collect(now), ex
+			}
+		}
+
 		// Chip-level idle fast-forward: when no cluster has runnable
 		// work, jump over epoch boundaries to the earliest cycle
 		// anything can happen. Cycle-exact obligations clamp the jump:
@@ -518,6 +566,21 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 	}
 }
 
+// endurTick runs the chip-owned endurance housekeeping at an epoch
+// boundary: the L3's background scrub (refresh energy charged at L3
+// write cost) and the lifetime-projection clock.
+func (s *Sim) endurTick(now uint64) {
+	if s.endurL3 != nil {
+		s.l3.SetNow(now)
+		if s.endurL3.ScrubDue(now) {
+			if n := s.l3.Scrub(now); n > 0 {
+				s.l3Meter.AddPJ(power.CacheDynamic, float64(n)*s.chip.Energies.L3Write)
+			}
+		}
+	}
+	s.endur.ObserveCycle(now)
+}
+
 // collect assembles the final Result.
 func (s *Sim) collect(cycles uint64) Result {
 	r := Result{
@@ -531,6 +594,10 @@ func (s *Sim) collect(cycles uint64) Result {
 		Trace:            s.trace,
 	}
 	r.Faults = s.faults.Snapshot()
+	if s.endur != nil {
+		s.endur.ObserveCycle(cycles)
+		r.Endurance = s.endur.Report(cycles)
+	}
 	var l1dReads, l1dMisses uint64
 	var halfMissReqs, reads uint64
 	for _, cl := range s.clus {

@@ -30,6 +30,7 @@ func (s *Sim) registerTelemetry() {
 		c.RegisterSeries("sim.epoch_trace", &s.trace)
 	}
 	s.faults.AttachTelemetry(c.Child("faults"))
+	s.endur.AttachTelemetry(c.Child("endurance"))
 }
 
 // emitEnd records a run-lifecycle terminal event (run.end,
