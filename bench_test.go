@@ -30,6 +30,7 @@ func benchRunner() *experiments.Runner {
 
 // BenchmarkFigure1 regenerates the motivating power breakdown.
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	var leakFrac float64
 	for i := 0; i < b.N; i++ {
 		f := experiments.Figure1()
@@ -40,6 +41,7 @@ func BenchmarkFigure1(b *testing.B) {
 
 // BenchmarkTableI echoes the cache-hierarchy table.
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if experiments.TableI() == "" {
 			b.Fatal("empty table")
@@ -50,6 +52,7 @@ func BenchmarkTableI(b *testing.B) {
 // BenchmarkTableIII regenerates the technology model against the
 // paper's anchors.
 func BenchmarkTableIII(b *testing.B) {
+	b.ReportAllocs()
 	var leakRatio float64
 	for i := 0; i < b.N; i++ {
 		rows := tech.TableIII()
@@ -60,6 +63,7 @@ func BenchmarkTableIII(b *testing.B) {
 
 // BenchmarkTableIV echoes the configuration legend.
 func BenchmarkTableIV(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if experiments.TableIV() == "" {
 			b.Fatal("empty table")
@@ -69,6 +73,7 @@ func BenchmarkTableIV(b *testing.B) {
 
 // BenchmarkFigure6 regenerates the power study (small/medium/large).
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	var medium float64
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
@@ -79,6 +84,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 // BenchmarkFigure7 regenerates the normalised execution-time study.
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	var t float64
 	for i := 0; i < b.N; i++ {
 		t = benchRunner().Figure7().Mean(config.SHSTT)
@@ -88,6 +94,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 // BenchmarkFigure8 regenerates the energy-by-scale study.
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	var e float64
 	for i := 0; i < b.N; i++ {
 		f := benchRunner().Figure8()
@@ -104,9 +111,11 @@ func BenchmarkFigure8(b *testing.B) {
 // reported metric must be identical either way (the equivalence test
 // enforces bit-identical results).
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	for _, workers := range []int{1, 4} {
 		workers := workers
 		b.Run(map[int]string{1: "workers-1", 4: "workers-4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
 			var e float64
 			for i := 0; i < b.N; i++ {
 				r := benchRunner()
@@ -121,6 +130,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 // BenchmarkClusterSweep regenerates the Section V.D cluster-size sweep.
 func BenchmarkClusterSweep(b *testing.B) {
+	b.ReportAllocs()
 	best := 0
 	for i := 0; i < b.N; i++ {
 		best = benchRunner().ClusterSweep().Best()
@@ -130,6 +140,7 @@ func BenchmarkClusterSweep(b *testing.B) {
 
 // BenchmarkFigure10 regenerates the shared-cache arrival histogram.
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	var idle float64
 	for i := 0; i < b.N; i++ {
 		idle = benchRunner().Figure10().Mean.Fraction(0)
@@ -139,6 +150,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 // BenchmarkFigure11 regenerates the read service-latency histogram.
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	var one float64
 	for i := 0; i < b.N; i++ {
 		one = benchRunner().Figure11().OneCycleFraction()
@@ -148,6 +160,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 // BenchmarkFigure12 regenerates the radix consolidation trace.
 func BenchmarkFigure12(b *testing.B) {
+	b.ReportAllocs()
 	var saving float64
 	for i := 0; i < b.N; i++ {
 		saving = benchRunner().ConsolidationTrace("radix").GreedySaving
@@ -157,6 +170,7 @@ func BenchmarkFigure12(b *testing.B) {
 
 // BenchmarkFigure13 regenerates the lu consolidation trace.
 func BenchmarkFigure13(b *testing.B) {
+	b.ReportAllocs()
 	var saving float64
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
@@ -168,6 +182,7 @@ func BenchmarkFigure13(b *testing.B) {
 
 // BenchmarkFigure14 regenerates the active-core usage summary.
 func BenchmarkFigure14(b *testing.B) {
+	b.ReportAllocs()
 	var mean float64
 	for i := 0; i < b.N; i++ {
 		mean = benchRunner().Figure14().MeanActive()
@@ -180,9 +195,11 @@ func BenchmarkFigure14(b *testing.B) {
 // 8-wide parallelism. On a multi-core machine jobs-8 should show
 // substantially lower ns/op; the reports must be identical either way.
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	for _, jobs := range []int{1, 8} {
 		jobs := jobs
 		b.Run(map[int]string{1: "jobs-1", 8: "jobs-8"}[jobs], func(b *testing.B) {
+			b.ReportAllocs()
 			var e float64
 			for i := 0; i < b.N; i++ {
 				r := benchRunner()
@@ -197,6 +214,7 @@ func BenchmarkTable4(b *testing.B) {
 // BenchmarkSimThroughput measures raw simulator speed (instructions
 // simulated per second) on the proposed configuration.
 func BenchmarkSimThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var instr uint64
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(config.New(config.SHSTT, config.Medium), "fft",
@@ -213,6 +231,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 // arbitration against naive FIFO on half-miss rate under mixed-speed
 // contention (microbenchmark on the controller alone).
 func BenchmarkAblationArbitration(b *testing.B) {
+	b.ReportAllocs()
 	run := func(policy sharedcache.SelectPolicy) float64 {
 		c := sharedcache.New(16, sharedcache.WithPolicy(policy), sharedcache.WithSeed(11))
 		rng := rand.New(rand.NewSource(13))
@@ -240,6 +259,7 @@ func BenchmarkAblationArbitration(b *testing.B) {
 // BenchmarkAblationEpochLength sweeps the consolidation interval around
 // the paper's 160K-instruction choice.
 func BenchmarkAblationEpochLength(b *testing.B) {
+	b.ReportAllocs()
 	base, err := sim.Run(config.New(config.SHSTT, config.Medium), "radix",
 		sim.Options{QuotaInstr: 60_000, Seed: 1})
 	if err != nil {
@@ -249,6 +269,7 @@ func BenchmarkAblationEpochLength(b *testing.B) {
 		epoch := epoch
 		b.Run(map[uint64]string{40_000: "40k", 160_000: "160k", 640_000: "640k"}[epoch],
 			func(b *testing.B) {
+				b.ReportAllocs()
 				var norm float64
 				for i := 0; i < b.N; i++ {
 					cfg := config.New(config.SHSTTCC, config.Medium)
@@ -267,6 +288,7 @@ func BenchmarkAblationEpochLength(b *testing.B) {
 // BenchmarkAblationBackoff compares the greedy search with and without
 // its exponential back-off.
 func BenchmarkAblationBackoff(b *testing.B) {
+	b.ReportAllocs()
 	run := func(backoff []int) (float64, uint64) {
 		cfg := config.New(config.SHSTTCC, config.Medium)
 		cfg.ConsolidationParams.BackoffEpochs = backoff
@@ -289,6 +311,7 @@ func BenchmarkAblationBackoff(b *testing.B) {
 // BenchmarkAblationLevelDerates verifies the chip-power sensitivity to
 // the L2/L3 leakage derates (a documented calibration choice).
 func BenchmarkAblationLevelDerates(b *testing.B) {
+	b.ReportAllocs()
 	var frac float64
 	for i := 0; i < b.N; i++ {
 		chip := power.NewChip(config.New(config.PRSRAMNT, config.Medium))
@@ -302,6 +325,7 @@ func BenchmarkAblationLevelDerates(b *testing.B) {
 // consolidation (gate the slowest cores first) against the inverted
 // policy (gate the fastest first).
 func BenchmarkAblationRemapperOrder(b *testing.B) {
+	b.ReportAllocs()
 	run := func(preferSlow bool) (float64, float64) {
 		cfg := config.New(config.SHSTTCC, config.Medium)
 		cfg.ConsolidationParams.PreferSlowCores = preferSlow

@@ -8,6 +8,14 @@
 //	             [-only fig9] [-seed N] [-fault-seed N] [-jobs N]
 //	             [-cpuprofile f] [-memprofile f] [-metrics f] [-events f]
 //	             [-o out.txt] [-q]
+//	respin-bench -baseline BENCH_baseline.json [-bench-output bench.txt]
+//
+// The second form checks a `go test -bench` run for metric drift: the
+// bench output (a file, or stdin when -bench-output is "-" or omitted)
+// is parsed and every custom metric — the deterministic reproducibility
+// anchors — is compared against the baseline file. Timings and rate
+// metrics (ns/op, B/op, allocs/op, anything per second) stay
+// informational. Exit status 1 means at least one metric drifted.
 //
 // The full run simulates hundreds of configurations; -jobs spreads them
 // over a worker pool (default: all cores), and -quick runs a
@@ -23,6 +31,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"respin/internal/benchcheck"
 	"respin/internal/cli"
 	"respin/internal/experiments"
 )
@@ -40,7 +49,13 @@ func run() int {
 	only := flag.String("only", "", "run a single experiment: "+onlyKeys)
 	out := flag.String("o", "", "also write the report to this file")
 	jsonOut := flag.String("json", "", "write the comparison summary as JSON to this file")
+	baseline := flag.String("baseline", "", "check `go test -bench` output for metric drift against this baseline JSON and exit")
+	benchOutput := flag.String("bench-output", "-", "bench text to check with -baseline (\"-\" reads stdin)")
 	flag.Parse()
+
+	if *baseline != "" {
+		return checkBaseline(*baseline, *benchOutput)
+	}
 
 	cleanup, err := c.Start()
 	if err != nil {
@@ -107,6 +122,28 @@ func run() int {
 func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "respin-bench: %v\n", err)
 	return 1
+}
+
+// checkBaseline implements the -baseline mode: parse a `go test -bench`
+// run and gate on the custom-metric reproducibility anchors.
+func checkBaseline(baselinePath, benchPath string) int {
+	in := os.Stdin
+	if benchPath != "" && benchPath != "-" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	drifts, err := benchcheck.Check(baselinePath, in, os.Stdout)
+	if err != nil {
+		return fail(err)
+	}
+	if len(drifts) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // onlyKeys lists every -only id runOne accepts (aliases after their

@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"testing"
+
+	"respin/internal/config"
+)
+
+// TestSteadyStateTickAllocFree locks in the allocation-free hot path:
+// with telemetry off and buffers warmed up, ticking a busy shared-L1
+// cluster (including its L3 drain round trips) must never touch the
+// heap. The concrete event queue, the open-addressed fill table, and
+// the pooled lower-request/serviced buffers are all exercised here; a
+// regression in any of them shows up as a nonzero count.
+func TestSteadyStateTickAllocFree(t *testing.T) {
+	cl, _ := buildCluster(t, config.SHSTT, "fft", 1_000_000)
+	step := func() {
+		if cl.Unfinished() > 0 && cl.BarrierWaiters() == cl.Unfinished() {
+			cl.ScheduleBarrierRelease(cl.Now() + 1)
+		}
+		cl.Tick()
+	}
+	for i := 0; i < 200_000; i++ { // warmup: reach steady buffer sizes
+		step()
+	}
+	if cl.Done() {
+		t.Fatal("cluster finished during warmup; raise the quota")
+	}
+	if n := testing.AllocsPerRun(50_000, step); n != 0 {
+		t.Errorf("%v allocs per steady-state tick, want 0", n)
+	}
+}

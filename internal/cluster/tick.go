@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"fmt"
 
 	"respin/internal/config"
@@ -28,7 +27,7 @@ func (cl *Cluster) Tick() {
 		if !ok || e.cycle > cl.now {
 			break
 		}
-		heap.Pop(&cl.events)
+		cl.events.pop()
 		cl.handleEvent(e)
 	}
 
@@ -106,7 +105,7 @@ func (cl *Cluster) maybeColdRestart(v int) {
 func (cl *Cluster) submitFill(f fillInfo) {
 	id := cl.fillSeq
 	cl.fillSeq++
-	cl.fills[id] = f
+	cl.fills.put(id, f)
 	ctrl := cl.ctrlD
 	if f.icache {
 		ctrl = cl.ctrlI
@@ -121,13 +120,12 @@ func (cl *Cluster) submitFill(f fillInfo) {
 // serviceD handles one serviced L1D request: the arbitration delay has
 // elapsed; now the array access happens.
 func (cl *Cluster) serviceD(s sharedcache.Serviced) {
-	e := &cl.chip.Energies
 	// Each verify-failed write attempt burned one array write's energy
 	// before the controller re-arbitrated it.
 	if s.WriteRetries > 0 {
-		cl.Meter.AddPJ(power.CacheDynamic, float64(s.WriteRetries)*e.L1DWrite)
+		cl.Meter.AddPJ(power.CacheDynamic, float64(s.WriteRetries)*cl.eL1DWrite)
 	}
-	if cl.tel != nil && (s.WriteRetries > 0 || s.WriteAborted) {
+	if cl.telEvents && (s.WriteRetries > 0 || s.WriteAborted) {
 		cl.emitRetry("l1d", s.WriteRetries, s.WriteAborted)
 	}
 	switch tagKind(s.Req.Tag) {
@@ -135,10 +133,10 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 		v := tagVCore(s.Req.Tag)
 		addr := tagAddr(s.Req.Tag)
 		cl.vcores[v].loadService = cl.now
-		cl.Meter.AddPJ(power.CacheDynamic, e.L1DRead)
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL1DRead)
 		res := cl.sharedL1D.Access(addr, false)
 		if res.Hit {
-			extra := uint64(cl.chip.Latencies.L1Read - 1)
+			extra := cl.latL1ReadExtra
 			if extra == 0 {
 				cl.completeLoad(v)
 			} else {
@@ -151,7 +149,7 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 			event{kind: evSubmitFill, fill: fillInfo{addr: addr}})
 	case tagStore:
 		addr := tagAddr(s.Req.Tag)
-		cl.Meter.AddPJ(power.CacheDynamic, e.L1DWrite)
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL1DWrite)
 		res := cl.sharedL1D.Access(addr, true)
 		if !res.Hit {
 			// Write-allocate: fetch the line, then install it dirty.
@@ -164,7 +162,7 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 		}
 	case tagSpin:
 		addr := tagAddr(s.Req.Tag)
-		cl.Meter.AddPJ(power.CacheDynamic, e.L1DRead)
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL1DRead)
 		res := cl.sharedL1D.Access(addr, false)
 		if !res.Hit {
 			cl.l2Access(cl.now, addr, false, 0,
@@ -172,9 +170,8 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 		}
 	case tagFill:
 		id := tagAddr(s.Req.Tag)
-		f := cl.fills[id]
-		delete(cl.fills, id)
-		cl.Meter.AddPJ(power.CacheDynamic, e.L1DWrite)
+		f := cl.fills.take(id)
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL1DWrite)
 		res := cl.sharedL1D.Fill(f.addr, f.dirty)
 		if res.Writeback {
 			cl.l2Writeback(res.EvictedAddr)
@@ -184,21 +181,20 @@ func (cl *Cluster) serviceD(s sharedcache.Serviced) {
 
 // serviceI handles one serviced L1I request.
 func (cl *Cluster) serviceI(s sharedcache.Serviced) {
-	e := &cl.chip.Energies
 	if s.WriteRetries > 0 {
-		cl.Meter.AddPJ(power.CacheDynamic, float64(s.WriteRetries)*e.L1IWrite)
+		cl.Meter.AddPJ(power.CacheDynamic, float64(s.WriteRetries)*cl.eL1IWrite)
 	}
-	if cl.tel != nil && (s.WriteRetries > 0 || s.WriteAborted) {
+	if cl.telEvents && (s.WriteRetries > 0 || s.WriteAborted) {
 		cl.emitRetry("l1i", s.WriteRetries, s.WriteAborted)
 	}
 	switch tagKind(s.Req.Tag) {
 	case tagIFetch:
 		v := tagVCore(s.Req.Tag)
 		addr := tagAddr(s.Req.Tag)
-		cl.Meter.AddPJ(power.CacheDynamic, e.L1IRead)
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL1IRead)
 		res := cl.sharedL1I.Access(addr, false)
 		if res.Hit {
-			extra := uint64(cl.chip.Latencies.L1Read - 1)
+			extra := cl.latL1ReadExtra
 			if extra == 0 {
 				cl.vcores[v].core.CompleteIFetch()
 				cl.maybeColdRestart(v)
@@ -212,9 +208,8 @@ func (cl *Cluster) serviceI(s sharedcache.Serviced) {
 			event{kind: evSubmitFill, fill: fillInfo{addr: addr, icache: true}})
 	case tagFill:
 		id := tagAddr(s.Req.Tag)
-		f := cl.fills[id]
-		delete(cl.fills, id)
-		cl.Meter.AddPJ(power.CacheDynamic, e.L1IWrite)
+		f := cl.fills.take(id)
+		cl.Meter.AddPJ(power.CacheDynamic, cl.eL1IWrite)
 		res := cl.sharedL1I.Fill(f.addr, false)
 		if res.Writeback {
 			cl.l2Writeback(res.EvictedAddr)
@@ -223,12 +218,22 @@ func (cl *Cluster) serviceI(s sharedcache.Serviced) {
 }
 
 // stepPCores advances every active physical core whose clock edge falls
-// on this cache cycle.
+// on this cache cycle. The per-group next-edge cache turns the modulo
+// test into a compare; a fast-forward jump leaves next in the past, and
+// the resync divide runs once per jump instead of once per cycle.
 func (cl *Cluster) stepPCores() {
-	for _, g := range cl.edges {
-		if cl.now%g.mult != 0 {
-			continue
+	for gi := range cl.edges {
+		g := &cl.edges[gi]
+		if cl.now != g.next {
+			if cl.now < g.next {
+				continue
+			}
+			g.next = edgeAtOrAfter(cl.now, g.mult)
+			if cl.now != g.next {
+				continue
+			}
 		}
+		g.next += g.mult
 		for _, i := range g.ids {
 			cl.stepPCore(i)
 		}
@@ -310,12 +315,23 @@ func (cl *Cluster) execContext(i, v int) int {
 }
 
 // nextRunnable returns the next co-resident context after v on pcore i
-// that could issue this cycle, or -1.
+// that could issue this cycle, or -1. The round-robin index wraps by
+// compare instead of a hardware divide (rrIndex is kept below the
+// resident count by redistribute/tickQuantum).
 func (cl *Cluster) nextRunnable(i, v int) int {
 	p := &cl.pcores[i]
-	n := len(p.residents)
+	res := p.residents
+	n := len(res)
+	idx := p.rrIndex + 1
+	if idx >= n {
+		idx -= n
+	}
 	for k := 0; k < n; k++ {
-		cand := p.residents[(p.rrIndex+1+k)%n]
+		cand := res[idx]
+		idx++
+		if idx == n {
+			idx = 0
+		}
 		if cand == v {
 			continue
 		}
@@ -332,16 +348,37 @@ func (cl *Cluster) nextRunnable(i, v int) int {
 }
 
 // pickResident returns the unfinished virtual core currently scheduled
-// on pcore i, rotating past finished ones, or -1.
+// on pcore i, rotating past finished ones, or -1. The single-resident
+// case (no consolidation yet, or one thread per core) is the common one
+// and takes the branch-free path.
 func (cl *Cluster) pickResident(i int) int {
 	p := &cl.pcores[i]
-	n := len(p.residents)
+	res := p.residents
+	n := len(res)
+	if n == 0 {
+		return -1
+	}
+	if n == 1 {
+		v := res[0]
+		if cl.vcores[v].finished {
+			return -1
+		}
+		p.rrIndex = 0
+		return v
+	}
+	idx := p.rrIndex
+	if idx >= n {
+		idx %= n
+	}
 	for k := 0; k < n; k++ {
-		idx := (p.rrIndex + k) % n
-		v := p.residents[idx]
+		v := res[idx]
 		if !cl.vcores[v].finished {
 			p.rrIndex = idx
 			return v
+		}
+		idx++
+		if idx == n {
+			idx = 0
 		}
 	}
 	return -1
@@ -411,7 +448,7 @@ func (cl *Cluster) tickQuantum(i int) {
 // ScheduleBarrierRelease arranges for this cluster's parked virtual
 // cores to resume at the given cache cycle (the chip-level barrier
 // coordinator accounts for cross-cluster release propagation). The
-/// event lives in the chip band of the heap: its order against
+// / event lives in the chip band of the heap: its order against
 // same-cycle cluster-local events is fixed by construction, not by how
 // many local sequence numbers were consumed before the coordinator
 // observed the barrier — which depends on when the chip loop runs.
@@ -423,7 +460,7 @@ func (cl *Cluster) ScheduleBarrierRelease(cycle uint64) {
 	}
 	e := event{cycle: cycle, seq: cl.chipSeq, kind: evReleaseBarrier, chip: true}
 	cl.chipSeq++
-	heap.Push(&cl.events, e)
+	cl.events.push(e)
 }
 
 // releaseLocalBarrier resumes every parked virtual core. In the private
@@ -437,7 +474,7 @@ func (cl *Cluster) releaseLocalBarrier() {
 		// local spinners.
 		for i := range cl.pcores {
 			if res := cl.dir.Cache(i).Invalidate(trace.BarrierAddr); res.Hit {
-				cl.Meter.AddPJ(power.CacheDynamic, cl.chip.Energies.L1DWrite)
+				cl.Meter.AddPJ(power.CacheDynamic, cl.eL1DWrite)
 			}
 		}
 	}

@@ -1,0 +1,30 @@
+package mem
+
+import (
+	"testing"
+
+	"respin/internal/config"
+)
+
+// TestAccessAndFillAllocFree locks in the data-oriented cache layout:
+// once built, the steady-state tag-array operations (hit, miss, fill
+// with eviction) must not touch the heap at all.
+func TestAccessAndFillAllocFree(t *testing.T) {
+	for _, p := range []config.CacheParams{pow2Params(), npow2Params()} {
+		c := NewCache(p)
+		const blocks = 4096
+		for i := uint64(0); i < blocks; i++ {
+			c.Fill(i<<c.blockShift, i%3 == 0)
+		}
+		var i uint64
+		if n := testing.AllocsPerRun(1000, func() {
+			i++
+			c.Access(i%blocks<<c.blockShift, i%4 == 0) // resident: hits
+			c.Access((blocks+i)<<c.blockShift, false)  // absent: misses
+			c.Fill((blocks+i)<<c.blockShift, i%2 == 0) // evicting fills
+			c.Invalidate((blocks + i) << c.blockShift)
+		}); n != 0 {
+			t.Errorf("sets=%d: %v allocs per steady-state access batch, want 0", p.Sets(), n)
+		}
+	}
+}

@@ -6,11 +6,14 @@
 // Addresses are byte addresses; each cache derives its own block and set
 // decomposition from its config.CacheParams. Set counts need not be
 // powers of two (the 48 MB L3 has 3x2^k sets); indexing masks when the
-// set count is a power of two and falls back to modulo otherwise.
+// set count is a power of two and uses a fixed-point reciprocal
+// (Lemire-style fastmod) otherwise, so no access ever pays a hardware
+// divide.
 package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"respin/internal/config"
 	"respin/internal/endurance"
@@ -34,16 +37,6 @@ const (
 	// eviction.
 	StateDirty LineState = 2
 )
-
-type way struct {
-	tag   uint64 // block address (addr >> blockShift)
-	state LineState
-	used  uint64 // LRU timestamp
-	// written is the cache cycle of the last data write, the retention
-	// deadline anchor for relaxed-retention STT arrays (unused unless
-	// an endurance model with retention is attached).
-	written uint64
-}
 
 // AccessResult reports the outcome of a cache access or fill.
 type AccessResult struct {
@@ -86,25 +79,43 @@ func (s *Stats) MissRate() float64 {
 }
 
 // Cache is a set-associative tag array with true LRU replacement.
+//
+// The per-way metadata is laid out structure-of-arrays: parallel
+// tags/state/used/written slices indexed by set*assoc+way, with the
+// three uint64 columns carved out of one flat backing allocation. The
+// lookup scan touches only the contiguous tag column (the state byte is
+// consulted only on a tag match), which is what a hardware tag array
+// does and what keeps the per-access footprint minimal.
 type Cache struct {
 	params config.CacheParams
-	sets   []way // numSets * assoc, laid out set-major
-	assoc  int
-	numSets    uint64
+	// SoA columns, numSets*assoc entries each, set-major.
+	tags  []uint64
+	state []LineState
+	used  []uint64 // LRU timestamps
+	// written is the cache cycle of the last data write, the retention
+	// deadline anchor for relaxed-retention STT arrays (unread unless
+	// an endurance model with retention is attached).
+	written []uint64
+	assoc   int
+	numSets uint64
 	// setMask strength-reduces the set-index modulo to a mask when the
 	// set count is a power of two (every L1/L2 geometry); maskable gates
-	// it because the 48 MB L3 has 3x2^k sets and must keep the modulo.
-	setMask    uint64
-	maskable   bool
-	blockShift uint
-	tick       uint64
-	faults     *faults.Injector
+	// it. The 48 MB L3 has 3x2^k sets and uses the magic reciprocal
+	// (magicHi:magicLo = ceil(2^128/numSets)) instead of a divide.
+	setMask          uint64
+	maskable         bool
+	magicHi, magicLo uint64
+	blockShift       uint
+	tick             uint64
+	faults           *faults.Injector
 	// endur, when attached, models finite write endurance and relaxed
-	// retention for STT arrays. retention/scrubPeriod cache the
-	// attached model's deadlines; now is the owner-advanced cache-cycle
-	// clock retention stamps are taken from; rotation is the
-	// wear-leveling set-index offset.
+	// retention for STT arrays. wearOn mirrors the attachment as a mode
+	// flag so hot paths hoist the model checks into one branch;
+	// retention/scrubPeriod cache the attached model's deadlines; now is
+	// the owner-advanced cache-cycle clock retention stamps are taken
+	// from; rotation is the wear-leveling set-index offset.
 	endur       *endurance.Array
+	wearOn      bool
 	retention   uint64
 	scrubPeriod uint64
 	now         uint64
@@ -125,9 +136,15 @@ func NewCache(p config.CacheParams) *Cache {
 		panic(fmt.Sprintf("mem: block size %d not a power of two", p.BlockBytes))
 	}
 	sets := p.Sets()
+	ways := sets * p.Assoc
+	// One flat allocation backs the three uint64 columns.
+	flat := make([]uint64, 3*ways)
 	c := &Cache{
 		params:     p,
-		sets:       make([]way, sets*p.Assoc),
+		tags:       flat[:ways:ways],
+		used:       flat[ways : 2*ways : 2*ways],
+		written:    flat[2*ways:],
+		state:      make([]LineState, ways),
 		assoc:      p.Assoc,
 		numSets:    uint64(sets),
 		blockShift: shift,
@@ -135,6 +152,13 @@ func NewCache(p config.CacheParams) *Cache {
 	if c.numSets&(c.numSets-1) == 0 {
 		c.maskable = true
 		c.setMask = c.numSets - 1
+	} else {
+		// ceil(2^128 / numSets): exact n mod d for every uint64 n as
+		// long as d*(2^64-1) <= 2^128, which always holds (Lemire, Kaser
+		// & Kurz, "Faster remainder by direct computation", 2019).
+		q1, r1 := bits.Div64(1, 0, c.numSets)
+		q2, _ := bits.Div64(r1, 0, c.numSets)
+		c.magicHi, c.magicLo = q1, q2+1
 	}
 	return c
 }
@@ -154,6 +178,7 @@ func (c *Cache) AttachFaults(in *faults.Injector) { c.faults = in }
 // A nil array detaches.
 func (c *Cache) AttachEndurance(a *endurance.Array) {
 	c.endur = a
+	c.wearOn = a != nil
 	c.retention = a.RetentionCycles()
 	c.scrubPeriod = a.ScrubPeriod()
 }
@@ -181,45 +206,66 @@ func (c *Cache) setIndex(block uint64) uint64 {
 	if c.maskable {
 		return block & c.setMask
 	}
-	return block % c.numSets
+	return c.fastMod(block)
 }
 
-// find returns the way slice of the set, the set index, and the index
-// of the block within the set, or -1.
-func (c *Cache) find(block uint64) ([]way, uint64, int) {
+// fastMod computes n % numSets without a divide: the 128-bit fixed
+// point M = ceil(2^128/d) satisfies n mod d = floor(((M*n) mod 2^128) *
+// d / 2^128) exactly for every uint64 n. Two widening multiplies and an
+// add-with-carry replace the ~30-cycle hardware divide the 3x2^k-set
+// L3 paid per access.
+func (c *Cache) fastMod(n uint64) uint64 {
+	// lb = (M * n) mod 2^128, computed as magicLo*n (full 128 bits)
+	// plus magicHi*n shifted into the high word (overflow discarded).
+	lbHi, lbLo := bits.Mul64(c.magicLo, n)
+	lbHi += c.magicHi * n
+	// floor(lb * d / 2^128): the high word of the 192-bit product.
+	xHi, xLo := bits.Mul64(lbHi, c.numSets)
+	yHi, _ := bits.Mul64(lbLo, c.numSets)
+	_, carry := bits.Add64(xLo, yHi, 0)
+	return xHi + carry
+}
+
+// find returns the set index and the global way index (set*assoc+way)
+// of the block, or -1. The scan touches only the contiguous tag column;
+// the state byte is checked on tag match alone (an invalidated way may
+// retain a stale tag).
+func (c *Cache) find(block uint64) (uint64, int) {
 	si := c.setIndex(block)
-	set := c.sets[si*uint64(c.assoc) : (si+1)*uint64(c.assoc)]
-	for i := range set {
-		if set[i].state != StateInvalid && set[i].tag == block {
-			return set, si, i
+	base := si * uint64(c.assoc)
+	end := base + uint64(c.assoc)
+	tags := c.tags[base:end]
+	for j := range tags {
+		if tags[j] == block && c.state[base+uint64(j)] != StateInvalid {
+			return si, int(base) + j
 		}
 	}
-	return set, si, -1
+	return si, -1
 }
 
-// expired reports whether a valid line's retention deadline has passed
-// (always false without an attached retention model). Pure observers
-// (State, Contains) use it without mutating; mutation entry points
-// (Access, FillState, SetState, Invalidate, Scrub) reap expired lines
-// and account the loss.
-func (c *Cache) expired(w *way) bool {
-	return c.retention > 0 && w.state != StateInvalid && c.now-w.written > c.retention
+// expiredAt reports whether the valid line at global way index i has
+// passed its retention deadline (always false without an attached
+// retention model). Pure observers (State, Contains) use it without
+// mutating; mutation entry points (Access, FillState, SetState,
+// Invalidate, Scrub) reap expired lines and account the loss.
+func (c *Cache) expiredAt(i int) bool {
+	return c.retention > 0 && c.state[i] != StateInvalid && c.now-c.written[i] > c.retention
 }
 
 // Contains probes for a block without updating LRU or stats.
 func (c *Cache) Contains(addr uint64) bool {
-	set, _, i := c.find(c.BlockAddr(addr))
-	return i >= 0 && !c.expired(&set[i])
+	_, i := c.find(c.BlockAddr(addr))
+	return i >= 0 && !c.expiredAt(i)
 }
 
 // State returns the line state of a block (StateInvalid if absent or
 // retention-expired), without updating LRU or stats.
 func (c *Cache) State(addr uint64) LineState {
-	set, _, i := c.find(c.BlockAddr(addr))
-	if i < 0 || c.expired(&set[i]) {
+	_, i := c.find(c.BlockAddr(addr))
+	if i < 0 || c.expiredAt(i) {
 		return StateInvalid
 	}
-	return set[i].state
+	return c.state[i]
 }
 
 // Access performs a read or write lookup. On a hit the LRU stamp is
@@ -233,15 +279,15 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	} else {
 		c.Stats.Reads.Inc()
 	}
-	set, si, i := c.find(block)
-	if i >= 0 && c.expired(&set[i]) {
+	si, i := c.find(block)
+	if i >= 0 && c.expiredAt(i) {
 		// The line's retention deadline passed before anything touched
 		// it: the data is gone. Reap it and fall through to the miss
 		// path — the caller's normal miss handling re-fetches the block
 		// from below, which is exactly the "retention loss charged as a
 		// re-fetch" cost model.
-		c.endur.RetentionLoss(set[i].state == StateDirty)
-		set[i].state = StateInvalid
+		c.endur.RetentionLoss(c.state[i] == StateDirty)
+		c.state[i] = StateInvalid
 		i = -1
 	}
 	if i < 0 {
@@ -252,12 +298,14 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 		}
 		return AccessResult{}
 	}
-	set[i].used = c.tick
+	c.used[i] = c.tick
 	if write {
-		set[i].state = StateDirty
-		set[i].written = c.now
-		c.recordWrite(set, si, i)
-		c.maybeRotate()
+		c.state[i] = StateDirty
+		c.written[i] = c.now
+		if c.wearOn {
+			c.recordWrite(si, i)
+			c.maybeRotate()
+		}
 	} else if c.faults != nil {
 		switch c.faults.SRAMRead() {
 		case faults.ReadCorrected:
@@ -269,17 +317,18 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	return AccessResult{Hit: true}
 }
 
-// recordWrite charges one data-array write against (si, wi) on the
-// attached endurance model and handles way retirement: a way whose
-// budget just ran out is dead silicon, so whatever line it held is
-// dropped on the spot (the next access misses and re-fetches).
-func (c *Cache) recordWrite(set []way, si uint64, wi int) {
+// recordWrite charges one data-array write against the way at global
+// index i of set si on the attached endurance model and handles way
+// retirement: a way whose budget just ran out is dead silicon, so
+// whatever line it held is dropped on the spot (the next access misses
+// and re-fetches).
+func (c *Cache) recordWrite(si uint64, i int) {
 	if c.endur == nil {
 		return
 	}
-	if c.endur.RecordWrite(int(si), wi, c.now) {
-		c.endur.RetireLoss(set[wi].state == StateDirty)
-		set[wi].state = StateInvalid
+	if c.endur.RecordWrite(int(si), i-int(si)*c.assoc, c.now) {
+		c.endur.RetireLoss(c.state[i] == StateDirty)
+		c.state[i] = StateInvalid
 	}
 }
 
@@ -317,65 +366,85 @@ func (c *Cache) FillState(addr uint64, st LineState) AccessResult {
 	block := c.BlockAddr(addr)
 	c.tick++
 	c.Stats.FillsFromLowerLevel.Inc()
-	set, si, i := c.find(block)
+	si, i := c.find(block)
 	if i >= 0 {
 		// Refill of a present block updates state; the incoming data
 		// replaces whatever the line held, so an expired old copy only
 		// matters for loss accounting (its data was already gone).
-		if c.expired(&set[i]) {
-			c.endur.RetentionLoss(set[i].state == StateDirty)
+		if c.expiredAt(i) {
+			c.endur.RetentionLoss(c.state[i] == StateDirty)
 		}
-		set[i].state = st
-		set[i].used = c.tick
-		set[i].written = c.now
-		c.recordWrite(set, si, i)
-		c.maybeRotate()
+		c.state[i] = st
+		c.used[i] = c.tick
+		c.written[i] = c.now
+		if c.wearOn {
+			c.recordWrite(si, i)
+			c.maybeRotate()
+		}
 		return AccessResult{Hit: true}
 	}
-	// Victim selection skips permanently retired ways: the array keeps
-	// operating at reduced associativity. A set with no live way left
-	// cannot hold the block at all — the fill is bypassed (and the
-	// wear-out is already recorded as the array's end of life).
+	// Victim selection folds over the SoA state/used columns: first
+	// invalid way wins, otherwise the least-recently-used one (an
+	// invalid way short-circuits, so a non-invalid victim candidate is
+	// always valid and the LRU compare needs no state test). With the
+	// endurance model attached, permanently retired ways are skipped:
+	// the array keeps operating at reduced associativity. A set with no
+	// live way left cannot hold the block at all — the fill is bypassed
+	// (and the wear-out is already recorded as the array's end of life).
+	base := int(si) * c.assoc
 	victim := -1
-	for j := 0; j < len(set); j++ {
-		if c.endur.Retired(int(si), j) {
-			continue
+	if !c.wearOn {
+		for j := base; j < base+c.assoc; j++ {
+			if c.state[j] == StateInvalid {
+				victim = j
+				break
+			}
+			if victim < 0 || c.used[j] < c.used[victim] {
+				victim = j
+			}
 		}
-		if set[j].state == StateInvalid {
-			victim = j
-			break
-		}
-		if victim < 0 || set[victim].state != StateInvalid && set[j].used < set[victim].used {
-			victim = j
+	} else {
+		for j := base; j < base+c.assoc; j++ {
+			if c.endur.Retired(int(si), j-base) {
+				continue
+			}
+			if c.state[j] == StateInvalid {
+				victim = j
+				break
+			}
+			if victim < 0 || c.used[j] < c.used[victim] {
+				victim = j
+			}
 		}
 	}
 	if victim < 0 {
 		return AccessResult{Bypassed: true}
 	}
 	res := AccessResult{}
-	if set[victim].state != StateInvalid {
-		if c.expired(&set[victim]) {
+	if c.state[victim] != StateInvalid {
+		res.Evicted = true
+		res.EvictedAddr = c.tags[victim] << c.blockShift
+		res.EvictedState = c.state[victim]
+		c.Stats.Evictions.Inc()
+		if c.expiredAt(victim) {
 			// The victim expired before eviction: its data is lost, so
 			// no writeback happens — the loss is accounted instead.
-			c.endur.RetentionLoss(set[victim].state == StateDirty)
-			res.Evicted = true
-			res.EvictedAddr = set[victim].tag << c.blockShift
-			res.EvictedState = set[victim].state
-			c.Stats.Evictions.Inc()
+			c.endur.RetentionLoss(c.state[victim] == StateDirty)
 		} else {
-			res.Evicted = true
-			res.EvictedAddr = set[victim].tag << c.blockShift
-			res.EvictedState = set[victim].state
-			res.Writeback = set[victim].state == StateDirty
-			c.Stats.Evictions.Inc()
+			res.Writeback = c.state[victim] == StateDirty
 			if res.Writeback {
 				c.Stats.Writebacks.Inc()
 			}
 		}
 	}
-	set[victim] = way{tag: block, state: st, used: c.tick, written: c.now}
-	c.recordWrite(set, si, victim)
-	c.maybeRotate()
+	c.tags[victim] = block
+	c.state[victim] = st
+	c.used[victim] = c.tick
+	c.written[victim] = c.now
+	if c.wearOn {
+		c.recordWrite(si, victim)
+		c.maybeRotate()
+	}
 	return res
 }
 
@@ -385,16 +454,16 @@ func (c *Cache) SetState(addr uint64, st LineState) bool {
 	if st == StateInvalid {
 		return c.Invalidate(addr).Hit
 	}
-	set, _, i := c.find(c.BlockAddr(addr))
+	_, i := c.find(c.BlockAddr(addr))
 	if i < 0 {
 		return false
 	}
-	if c.expired(&set[i]) {
-		c.endur.RetentionLoss(set[i].state == StateDirty)
-		set[i].state = StateInvalid
+	if c.expiredAt(i) {
+		c.endur.RetentionLoss(c.state[i] == StateDirty)
+		c.state[i] = StateInvalid
 		return false
 	}
-	set[i].state = st
+	c.state[i] = st
 	return true
 }
 
@@ -403,21 +472,21 @@ func (c *Cache) SetState(addr uint64, st LineState) bool {
 // line is reaped as a loss and reported absent — its data no longer
 // exists, so there is nothing to invalidate or write back.
 func (c *Cache) Invalidate(addr uint64) AccessResult {
-	set, _, i := c.find(c.BlockAddr(addr))
+	_, i := c.find(c.BlockAddr(addr))
 	if i < 0 {
 		return AccessResult{}
 	}
-	if c.expired(&set[i]) {
-		c.endur.RetentionLoss(set[i].state == StateDirty)
-		set[i].state = StateInvalid
+	if c.expiredAt(i) {
+		c.endur.RetentionLoss(c.state[i] == StateDirty)
+		c.state[i] = StateInvalid
 		return AccessResult{}
 	}
-	dirty := set[i].state == StateDirty
+	dirty := c.state[i] == StateDirty
 	c.Stats.Invalidations.Inc()
 	if dirty {
 		c.Stats.InvalidationsDirty.Inc()
 	}
-	set[i].state = StateInvalid
+	c.state[i] = StateInvalid
 	return AccessResult{Hit: true, Writeback: dirty}
 }
 
@@ -425,8 +494,8 @@ func (c *Cache) Invalidate(addr uint64) AccessResult {
 // reports only).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for i := range c.sets {
-		if c.sets[i].state != StateInvalid {
+	for i := range c.state {
+		if c.state[i] != StateInvalid {
 			n++
 		}
 	}
@@ -434,19 +503,19 @@ func (c *Cache) Occupancy() int {
 }
 
 // Capacity returns the total number of ways in the array.
-func (c *Cache) Capacity() int { return len(c.sets) }
+func (c *Cache) Capacity() int { return len(c.state) }
 
 // Clear invalidates every line (used when a core is power-gated and its
 // private caches lose their content). Dirty lines are counted as
 // writebacks and the count returned.
 func (c *Cache) Clear() (writebacks int) {
-	for i := range c.sets {
-		if c.sets[i].state == StateDirty {
+	for i := range c.state {
+		if c.state[i] == StateDirty {
 			writebacks++
 			c.Stats.Writebacks.Inc()
 		}
-		if c.sets[i].state != StateInvalid {
-			c.sets[i].state = StateInvalid
+		if c.state[i] != StateInvalid {
+			c.state[i] = StateInvalid
 			c.Stats.Invalidations.Inc()
 		}
 	}
@@ -456,7 +525,7 @@ func (c *Cache) Clear() (writebacks int) {
 // LiveCapacity returns the number of ways still in service (Capacity
 // minus permanently retired ways).
 func (c *Cache) LiveCapacity() int {
-	return len(c.sets) - c.endur.RetiredWays()
+	return len(c.state) - c.endur.RetiredWays()
 }
 
 // Scrub performs one background retention scrub pass at cycle now:
@@ -472,20 +541,20 @@ func (c *Cache) Scrub(now uint64) (refreshed int) {
 	}
 	c.SetNow(now)
 	for si := uint64(0); si < c.numSets; si++ {
-		set := c.sets[si*uint64(c.assoc) : (si+1)*uint64(c.assoc)]
-		for w := range set {
-			if set[w].state == StateInvalid {
+		base := int(si) * c.assoc
+		for w := base; w < base+c.assoc; w++ {
+			if c.state[w] == StateInvalid {
 				continue
 			}
-			if c.expired(&set[w]) {
-				c.endur.RetentionLoss(set[w].state == StateDirty)
-				set[w].state = StateInvalid
+			if c.expiredAt(w) {
+				c.endur.RetentionLoss(c.state[w] == StateDirty)
+				c.state[w] = StateInvalid
 				continue
 			}
-			if set[w].written+c.retention < now+c.scrubPeriod {
-				set[w].written = now
+			if c.written[w]+c.retention < now+c.scrubPeriod {
+				c.written[w] = now
 				refreshed++
-				c.recordWrite(set, si, w)
+				c.recordWrite(si, w)
 			}
 		}
 	}

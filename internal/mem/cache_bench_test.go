@@ -36,6 +36,7 @@ func TestSetIndexMaskMatchesModulo(t *testing.T) {
 // benchSetIndex exercises the set-index path through Access on a hit
 // stream, the hot loop of every simulated memory reference.
 func benchSetIndex(b *testing.B, p config.CacheParams) {
+	b.ReportAllocs()
 	c := NewCache(p)
 	const blocks = 1024
 	for i := uint64(0); i < blocks; i++ {

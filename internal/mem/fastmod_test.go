@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"respin/internal/config"
+)
+
+// l3Geometries returns the real shared-L3 cache parameters of every
+// config scale (24 MB small, 48 MB baseline, 96 MB large). All three
+// have 3x2^k sets with the 128 B/16-way geometry, so they exercise the
+// fixed-point reciprocal path rather than the mask.
+func l3Geometries() []config.CacheParams {
+	var ps []config.CacheParams
+	for _, mb := range []int{24, 48, 96} {
+		ps = append(ps, config.CacheParams{
+			SizeBytes: mb << 20, BlockBytes: 128, Assoc: 16,
+			ReadPorts: 1, WritePorts: 1,
+		})
+	}
+	return ps
+}
+
+// TestFastModMatchesModuloExhaustive proves the Lemire fixed-point
+// reciprocal agrees with the hardware modulo on every real L3 geometry:
+// exhaustively over the low index space (several full wrap-arounds),
+// over adversarial boundary patterns across the whole 64-bit range, and
+// over a large deterministic random sample.
+func TestFastModMatchesModuloExhaustive(t *testing.T) {
+	for _, p := range l3Geometries() {
+		c := NewCache(p)
+		if c.maskable {
+			t.Fatalf("sets=%d: expected non-power-of-two geometry", c.numSets)
+		}
+		d := c.numSets
+
+		// Exhaustive sweep over the first three full periods plus one.
+		for n := uint64(0); n < 3*d+1; n++ {
+			if got, want := c.fastMod(n), n%d; got != want {
+				t.Fatalf("sets=%d n=%d: fastMod=%d, want %d", d, n, got, want)
+			}
+		}
+
+		// Boundary patterns: powers of two and multiples of d across the
+		// full uint64 range, each probed at +/-1 as well, plus the
+		// extreme values where the 128-bit intermediate is most stressed.
+		check := func(n uint64) {
+			if got, want := c.fastMod(n), n%d; got != want {
+				t.Fatalf("sets=%d n=%#x: fastMod=%d, want %d", d, n, got, want)
+			}
+		}
+		check(0)
+		check(^uint64(0))
+		check(^uint64(0) - 1)
+		for s := uint(0); s < 64; s++ {
+			pw := uint64(1) << s
+			check(pw - 1)
+			check(pw)
+			check(pw + 1)
+		}
+		for s := uint(0); s < 50; s++ {
+			m := d << s
+			check(m - 1)
+			check(m)
+			check(m + 1)
+		}
+
+		// Deterministic random sample over the full 64-bit space.
+		rng := rand.New(rand.NewSource(0x5e71))
+		for i := 0; i < 1_000_000; i++ {
+			n := rng.Uint64()
+			if got, want := c.fastMod(n), n%d; got != want {
+				t.Fatalf("sets=%d n=%#x: fastMod=%d, want %d", d, n, got, want)
+			}
+		}
+	}
+}
+
+// TestSetIndexRotationFastMod verifies the wear-leveling rotation offset
+// flows through the reciprocal path identically to the modulo it
+// replaced.
+func TestSetIndexRotationFastMod(t *testing.T) {
+	c := NewCache(l3Geometries()[1])
+	for _, rot := range []uint64{0, 1, 7, c.numSets - 1, c.numSets + 3} {
+		c.rotation = rot
+		for _, block := range []uint64{0, 5, c.numSets - 1, c.numSets * 2, ^uint64(0) - rot} {
+			if got, want := c.setIndex(block), (block+rot)%c.numSets; got != want {
+				t.Fatalf("rot=%d block=%#x: setIndex=%d, want %d", rot, block, got, want)
+			}
+		}
+	}
+}

@@ -117,6 +117,29 @@ type CacheLatencies struct {
 	L3Read, L3Write int
 }
 
+// ArrayLevel indexes a cache array of the hierarchy in the flattened
+// per-(array, access-kind) lookup tables.
+type ArrayLevel int
+
+// Array levels.
+const (
+	ArrayL1I ArrayLevel = iota
+	ArrayL1D
+	ArrayL2
+	ArrayL3
+	numArrayLevels
+)
+
+// AccessKind distinguishes reads from writes in the lookup tables.
+type AccessKind int
+
+// Access kinds.
+const (
+	ReadAccess AccessKind = iota
+	WriteAccess
+	numAccessKinds
+)
+
 // Chip bundles everything the simulator needs to turn events into energy
 // for one configuration: leakage powers, per-access energies and
 // latencies at the configured rails.
@@ -138,6 +161,43 @@ type Chip struct {
 	// ShifterPJ is the per-crossing level-shifter energy (zero when
 	// core and cache rails are the same).
 	ShifterPJ float64
+
+	// energyLUT and latencyLUT are the Energies/Latencies fields
+	// flattened into per-(array, access-kind) tables, built once at
+	// construction. Hot loops that charge accesses by index read these
+	// through EnergyPJ/LatencyCycles instead of branching over struct
+	// field names; the model is immutable, so callers may also copy the
+	// scalars out once and keep them in their own state.
+	energyLUT  [int(numArrayLevels) * int(numAccessKinds)]float64
+	latencyLUT [int(numArrayLevels) * int(numAccessKinds)]int
+}
+
+// EnergyPJ returns the per-access dynamic energy of one array and access
+// kind from the flattened table.
+func (c *Chip) EnergyPJ(l ArrayLevel, k AccessKind) float64 {
+	return c.energyLUT[int(l)*int(numAccessKinds)+int(k)]
+}
+
+// LatencyCycles returns the array access latency in cache cycles from
+// the flattened table. The shared L1I and L1D arrays have identical
+// timing (one tech model at one rail), so both map to the L1 latencies.
+func (c *Chip) LatencyCycles(l ArrayLevel, k AccessKind) int {
+	return c.latencyLUT[int(l)*int(numAccessKinds)+int(k)]
+}
+
+// buildLUTs flattens Energies/Latencies into the indexed tables.
+func (c *Chip) buildLUTs() {
+	set := func(l ArrayLevel, rdE, wrE float64, rdLat, wrLat int) {
+		c.energyLUT[int(l)*int(numAccessKinds)+int(ReadAccess)] = rdE
+		c.energyLUT[int(l)*int(numAccessKinds)+int(WriteAccess)] = wrE
+		c.latencyLUT[int(l)*int(numAccessKinds)+int(ReadAccess)] = rdLat
+		c.latencyLUT[int(l)*int(numAccessKinds)+int(WriteAccess)] = wrLat
+	}
+	e, lt := &c.Energies, &c.Latencies
+	set(ArrayL1I, e.L1IRead, e.L1IWrite, lt.L1Read, lt.L1Write)
+	set(ArrayL1D, e.L1DRead, e.L1DWrite, lt.L1Read, lt.L1Write)
+	set(ArrayL2, e.L2Read, e.L2Write, lt.L2Read, lt.L2Write)
+	set(ArrayL3, e.L3Read, e.L3Write, lt.L3Read, lt.L3Write)
 }
 
 // NewChip derives the power model for a configuration.
@@ -191,6 +251,7 @@ func NewChipWithParams(cfg config.Config, p Params) *Chip {
 	if cfg.CacheVdd != cfg.CoreVdd {
 		chip.ShifterPJ = p.LevelShifterPJ
 	}
+	chip.buildLUTs()
 	return chip
 }
 

@@ -1,0 +1,34 @@
+package sharedcache
+
+import "testing"
+
+// TestTickAllocFree locks in the controller's buffer reuse: after
+// warmup (the done slice, write queue, and pending ring have reached
+// their steady capacities), a Submit/Tick request mix must run without
+// heap allocation.
+func TestTickAllocFree(t *testing.T) {
+	c := New(8)
+	step := func(i uint64) {
+		core := int(i % 8)
+		if c.CanSubmitRead(core) {
+			c.Submit(Request{Core: core, Multiple: 5, Tag: i})
+		}
+		if i%3 == 0 && c.CanSubmitWrite(core) {
+			c.Submit(Request{Core: core, Write: true, Multiple: 5, Tag: i})
+		}
+		if i%7 == 0 {
+			c.Submit(Request{Core: FillCore, Write: true, Tag: i})
+		}
+		c.Tick()
+	}
+	var i uint64
+	for ; i < 10_000; i++ { // warmup: grow every internal buffer
+		step(i)
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		i++
+		step(i)
+	}); n != 0 {
+		t.Errorf("%v allocs per steady-state Submit/Tick, want 0", n)
+	}
+}

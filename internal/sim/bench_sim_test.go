@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkSimRadixSHSTT(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := Run(config.New(config.SHSTT, config.Medium), "radix", Options{QuotaInstr: 40_000})
 		if err != nil {

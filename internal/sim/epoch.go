@@ -198,7 +198,7 @@ func (s *Sim) drain() {
 	s.drainLower()
 	s.replayBarriers()
 
-	var flush []flushEvent
+	flush := s.flushBuf[:0]
 	s.applyEpochRecs(&flush)
 	for i, cr := range s.crs {
 		for ord, pe := range cr.cl.PendingEvents() {
@@ -228,8 +228,10 @@ func (s *Sim) drain() {
 		})
 		for i := range flush {
 			flush[i].coll.Emit(flush[i].typ, flush[i].cycle, flush[i].attrs)
+			flush[i] = flushEvent{} // drop attrs/collector references
 		}
 	}
+	s.flushBuf = flush[:0]
 }
 
 // drainLower merges the per-cluster request buffers by (issue cycle,
@@ -344,7 +346,7 @@ func (s *Sim) applyEpochRecs(flush *[]flushEvent) {
 		if rec.epoch > 3 {
 			s.activeSum.Observe(float64(rec.active))
 		}
-		if s.tel != nil {
+		if s.telEvents {
 			*flush = append(*flush, flushEvent{
 				cycle: rec.cycle, phase: 1, cluster: best,
 				coll: s.tel, typ: "epoch",

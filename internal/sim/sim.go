@@ -207,12 +207,12 @@ type Sim struct {
 	// Epoch scheduler state (see epoch.go). lookahead is the epoch
 	// length K; the chip-level barrier replay tracks barrierPending and
 	// the chip-wide waiting/unfinished totals across drains.
-	lookahead     uint64
-	osEpochCycles uint64
+	lookahead      uint64
+	osEpochCycles  uint64
 	barrierPending bool
-	totWaiting    int
-	totUnfinished int
-	drainPos      []int
+	totWaiting     int
+	totUnfinished  int
+	drainPos       []int
 
 	ffSkipped uint64 // cycles fast-forwarded instead of ticked
 	ffJumps   uint64 // number of fast-forward jumps taken
@@ -223,8 +223,20 @@ type Sim struct {
 
 	// tel is the run's telemetry collector (nil when disabled); event
 	// emissions are guarded on it so the untelemetered path pays one
-	// pointer test.
-	tel *telemetry.Collector
+	// pointer test. telEvents records whether an event stream is
+	// attached: emission sites that build attribute maps gate on it so a
+	// metrics-only collector costs no per-event allocation.
+	tel       *telemetry.Collector
+	telEvents bool
+
+	// flushBuf is the drain's event-ordering scratch, reused across
+	// epochs.
+	flushBuf []flushEvent
+
+	// L3 energy/latency scalars copied out of the immutable chip power
+	// model at construction; the drain charges one per answered request.
+	eL3Read, eL3Write     float64
+	latL3Read, latL3Write uint64
 }
 
 // FastForwardedCycles reports how many cycles the idle fast-forward
@@ -265,7 +277,12 @@ func New(cfg config.Config, benchName string, opts Options) (*Sim, error) {
 	}
 	if opts.Telemetry.Enabled() {
 		s.tel = opts.Telemetry
+		s.telEvents = opts.Telemetry.Emitting()
 	}
+	s.eL3Read = chip.EnergyPJ(power.ArrayL3, power.ReadAccess)
+	s.eL3Write = chip.EnergyPJ(power.ArrayL3, power.WriteAccess)
+	s.latL3Read = uint64(chip.LatencyCycles(power.ArrayL3, power.ReadAccess))
+	s.latL3Write = uint64(chip.LatencyCycles(power.ArrayL3, power.WriteAccess))
 	if s.faults != nil && cfg.Tech == config.SRAM {
 		s.l3.AttachFaults(s.faults)
 	}
@@ -353,38 +370,36 @@ func (s *Sim) l3Access(start uint64, addr uint64, write bool) uint64 {
 		// in deterministic global order, so stamps are too.
 		s.l3.SetNow(start)
 	}
-	e := &s.chip.Energies
-	lat := uint64(s.chip.Latencies.L3Read)
 	if write {
-		s.l3Meter.AddPJ(power.CacheDynamic, e.L3Write)
+		s.l3Meter.AddPJ(power.CacheDynamic, s.eL3Write)
 		res := s.l3.Access(addr, true)
 		if !res.Hit {
 			fill := s.l3.Fill(addr, true)
 			_ = fill // dirty L3 evictions go to DRAM; energy off-chip
 		}
-		end := start + uint64(s.chip.Latencies.L3Write)
+		end := start + s.latL3Write
 		// STT L3 banks run the same in-array verify-retry loop as the
 		// L2; retries extend the write's port hold and cost energy.
 		if s.cfg.Tech == config.STTRAM {
 			if r := s.faults.ArrayWriteRetries(); r > 0 {
-				s.l3Meter.AddPJ(power.CacheDynamic, float64(r)*e.L3Write)
-				extra := uint64(r) * uint64(s.chip.Latencies.L3Write)
+				s.l3Meter.AddPJ(power.CacheDynamic, float64(r)*s.eL3Write)
+				extra := uint64(r) * s.latL3Write
 				s.l3NextFree += extra
 				end += extra
 			}
 		}
 		return end
 	}
-	s.l3Meter.AddPJ(power.CacheDynamic, e.L3Read)
+	s.l3Meter.AddPJ(power.CacheDynamic, s.eL3Read)
 	res := s.l3.Access(addr, false)
 	if res.Hit {
-		return start + lat
+		return start + s.latL3Read
 	}
 	memLat := uint64(s.dram.LatencyCacheCycles())
 	s.dram.Access()
 	s.l3.Fill(addr, false)
-	s.l3Meter.AddPJ(power.CacheDynamic, e.L3Write)
-	return start + lat + memLat
+	s.l3Meter.AddPJ(power.CacheDynamic, s.eL3Write)
+	return start + s.latL3Read + memLat
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -404,7 +419,7 @@ func (s *Sim) Run() (Result, error) {
 // check, and chip-wide idle jumps — all of which land exactly on epoch
 // boundaries (kills and the watchdog clamp the epoch so they do).
 func (s *Sim) RunContext(ctx context.Context) (Result, error) {
-	if s.tel != nil {
+	if s.telEvents {
 		s.tel.Emit("run.start", 0, map[string]any{
 			"config":       s.cfg.Kind.String(),
 			"scale":        s.cfg.Scale.String(),
@@ -470,7 +485,7 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 			} else {
 				s.faults.DropKill()
 			}
-			if s.tel != nil {
+			if s.telEvents {
 				s.tel.Emit("fault.kill", now, map[string]any{
 					"cluster":   nextKill.Cluster,
 					"core":      nextKill.Core,
@@ -554,7 +569,7 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 					skipped := wake - now
 					s.ffSkipped += skipped
 					s.ffJumps++
-					if s.tel != nil && skipped >= ffJumpEventMin {
+					if s.telEvents && skipped >= ffJumpEventMin {
 						s.tel.Emit("ff.jump", now, map[string]any{
 							"from": now, "to": wake, "skipped": skipped,
 						})
@@ -574,7 +589,7 @@ func (s *Sim) endurTick(now uint64) {
 		s.l3.SetNow(now)
 		if s.endurL3.ScrubDue(now) {
 			if n := s.l3.Scrub(now); n > 0 {
-				s.l3Meter.AddPJ(power.CacheDynamic, float64(n)*s.chip.Energies.L3Write)
+				s.l3Meter.AddPJ(power.CacheDynamic, float64(n)*s.eL3Write)
 			}
 		}
 	}

@@ -154,6 +154,12 @@ func New(opts ...Option) *Collector {
 // Enabled reports whether the collector records anything.
 func (c *Collector) Enabled() bool { return c != nil }
 
+// Emitting reports whether Emit calls actually reach an event stream.
+// Hot paths that build attribute maps only to feed Emit should gate on
+// this rather than Enabled, so a metrics-only collector (no emitter
+// attached) pays nothing for per-event allocation.
+func (c *Collector) Emitting() bool { return c != nil && c.root.emitter != nil }
+
 // Child returns a collector whose registrations and events are prefixed
 // with name (joined with dots). Child of nil is nil.
 func (c *Collector) Child(name string) *Collector {

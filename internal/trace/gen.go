@@ -69,6 +69,20 @@ type Gen struct {
 	// Phase machine.
 	phaseIdx  int
 	phaseLeft uint64
+	// Per-phase scalars hoisted out of the event loop at construction
+	// (the profile is immutable): meanGaps[i] is phase i's exponential
+	// gap mean, streamFracs[i] its effective streaming fraction. The
+	// expressions match what Next/privateAddr computed inline, evaluated
+	// once, so every produced event is bit-identical.
+	meanGaps    []float64
+	streamFracs []float64
+	ilps        []float64
+	// Working-set geometry, likewise fixed per profile.
+	privWS   uint64
+	privHot  int64 // hot-set words (Int63n bound)
+	sharedWS int64 // shared words (Int63n bound)
+	codeSize uint64
+	loopSize uint64
 
 	// Instruction accounting.
 	retired       uint64
@@ -96,6 +110,26 @@ func NewGen(p Profile, seed int64, thread, cluster int) *Gen {
 		cluster: cluster,
 	}
 	g.phaseLeft = p.Phases[0].DurInstr
+	g.meanGaps = make([]float64, len(p.Phases))
+	g.streamFracs = make([]float64, len(p.Phases))
+	g.ilps = make([]float64, len(p.Phases))
+	for i, ph := range p.Phases {
+		g.meanGaps[i] = 1/(p.MemRatio*ph.MemScale) - 1
+		g.streamFracs[i] = ph.EffectiveStreamFrac()
+		g.ilps[i] = ph.ILP
+	}
+	g.privWS = uint64(p.PrivateWSKB) * 1024
+	hot := uint64(privateHotKB) * 1024
+	if hot > g.privWS {
+		hot = g.privWS
+	}
+	g.privHot = int64(hot / seqWordBytes)
+	g.sharedWS = int64(uint64(p.SharedWSKB) * 1024 / seqWordBytes)
+	g.codeSize = uint64(p.CodeKB) * 1024
+	g.loopSize = uint64(innerLoopKB) * 1024
+	if g.loopSize > g.codeSize {
+		g.loopSize = g.codeSize
+	}
 	for i := range g.anchors {
 		g.anchors[i] = g.rng.Intn(1 << 20)
 	}
@@ -114,7 +148,7 @@ func (g *Gen) Barriers() uint64 { return g.barrierCount }
 
 // ILP returns the current phase's sustainable fraction of the issue
 // width.
-func (g *Gen) ILP() float64 { return g.prof.Phases[g.phaseIdx].ILP }
+func (g *Gen) ILP() float64 { return g.ilps[g.phaseIdx] }
 
 // PhaseIndex returns the current phase index (for tests and traces).
 func (g *Gen) PhaseIndex() int { return g.phaseIdx }
@@ -144,9 +178,7 @@ func (g *Gen) advance(n uint64) {
 
 // Next produces the next event.
 func (g *Gen) Next() Event {
-	ph := g.prof.Phases[g.phaseIdx]
-	meanGap := 1/(g.prof.MemRatio*ph.MemScale) - 1
-	gap := uint64(g.rng.ExpFloat64()*meanGap + 0.5)
+	gap := uint64(g.rng.ExpFloat64()*g.meanGaps[g.phaseIdx] + 0.5)
 
 	// Barrier due before (or at) the next memory event?
 	if g.retired+gap+1 > g.nextBarrierAt {
@@ -183,16 +215,11 @@ func (g *Gen) Next() Event {
 // component). The resulting private-L1 miss rates land in the 2-5% range
 // the suites exhibit on real hardware.
 func (g *Gen) privateAddr() uint64 {
-	ws := uint64(g.prof.PrivateWSKB) * 1024
 	var off uint64
-	if g.rng.Float64() >= g.prof.Phases[g.phaseIdx].EffectiveStreamFrac() {
-		hot := uint64(privateHotKB) * 1024
-		if hot > ws {
-			hot = ws
-		}
-		off = uint64(g.rng.Int63n(int64(hot/seqWordBytes))) * seqWordBytes
+	if g.rng.Float64() >= g.streamFracs[g.phaseIdx] {
+		off = uint64(g.rng.Int63n(g.privHot)) * seqWordBytes
 	} else {
-		g.privPtr = (g.privPtr + seqWordBytes) % ws
+		g.privPtr = (g.privPtr + seqWordBytes) % g.privWS
 		off = g.privPtr
 	}
 	// Stagger threads in the set-index bits: real allocators place
@@ -209,12 +236,11 @@ const privateHotKB = 8
 // sharedAddr picks an address in the cluster-shared region, biased
 // toward the hot subset.
 func (g *Gen) sharedAddr() uint64 {
-	ws := uint64(g.prof.SharedWSKB) * 1024
 	var off uint64
 	if g.rng.Float64() < g.prof.HotFrac {
 		off = uint64(g.rng.Int63n(hotRegionBytes/seqWordBytes)) * seqWordBytes
 	} else {
-		off = uint64(g.rng.Int63n(int64(ws/seqWordBytes))) * seqWordBytes
+		off = uint64(g.rng.Int63n(g.sharedWS)) * seqWordBytes
 	}
 	return sharedBase | uint64(g.cluster)<<28 | off
 }
@@ -236,11 +262,7 @@ const (
 // few favourite loop regions within the code footprint. Code addresses
 // are identical across threads (shared program text).
 func (g *Gen) NextFetchAddr() uint64 {
-	code := uint64(g.prof.CodeKB) * 1024
-	loop := uint64(innerLoopKB) * 1024
-	if loop > code {
-		loop = code
-	}
+	code, loop := g.codeSize, g.loopSize
 	if g.rng.Float64() < loopTransferP {
 		// Transfer to another favourite loop region. Favourites are
 		// adjacent regions (one hot code area), as in real kernels.
