@@ -41,8 +41,14 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
-	var c cli.Common
-	c.Register(flag.CommandLine, cli.Defaults{Quota: 0, Seed: 0})
+	c := cli.New("respin-bench",
+		cli.WithRunFlags(cli.Defaults{Quota: 0, Seed: 0}),
+		cli.WithParallelFlags(),
+		cli.WithProfileFlags(),
+		cli.WithTelemetryFlags(),
+		cli.WithFaultFlags(),
+		cli.WithEnduranceFlags(),
+	)
 	quick := flag.Bool("quick", false, "reduced benchmark set and quotas")
 	traceQuota := flag.Uint64("trace-quota", 0, "override consolidation-trace budget")
 	benches := flag.String("benches", "", "comma-separated benchmark subset")

@@ -12,21 +12,25 @@
 //	           [-ecc SECDED] [-kill-cores N] [-kill-cycle C]
 //	           [-endurance-budget B] [-retention-cycles R] [-wear-level]
 //
+// The flags denote a v1.RunRequest — the same document a client would
+// POST to respin-serve's /v1/run — and -metrics writes the full
+// v1.RunResult envelope, byte-identical to the served response for the
+// same request.
+//
 // SIGINT cancels the run; the statistics measured up to the
 // interruption are still reported (marked partial).
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 
+	v1 "respin/internal/api/v1"
 	"respin/internal/cli"
 	"respin/internal/config"
-	"respin/internal/endurance"
 	"respin/internal/power"
 	"respin/internal/report"
 	"respin/internal/sim"
@@ -39,10 +43,15 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
-	t := cli.Target{ConfigName: "SH-STT", BenchName: "fft", ScaleName: "medium", Cluster: 16}
-	t.Register(flag.CommandLine, cli.TAll)
-	var c cli.Common
-	c.Register(flag.CommandLine, cli.Defaults{Quota: sim.DefaultQuota, Seed: 1})
+	app := cli.New("respin-sim",
+		cli.WithTarget(cli.Target{ConfigName: "SH-STT", BenchName: "fft", ScaleName: "medium", Cluster: 16}, cli.TAll),
+		cli.WithRunFlags(cli.Defaults{Quota: sim.DefaultQuota, Seed: 1}),
+		cli.WithParallelFlags(),
+		cli.WithProfileFlags(),
+		cli.WithTelemetryFlags(),
+		cli.WithFaultFlags(),
+		cli.WithEnduranceFlags(),
+	)
 	epochTrace := flag.Bool("trace", false, "print the consolidation trace")
 	dieMap := flag.Bool("diemap", false, "print the variation die map before running")
 	list := flag.Bool("list", false, "list configurations and benchmarks")
@@ -60,9 +69,14 @@ func run() int {
 		return 0
 	}
 
-	cfg, err := t.Config()
+	req, err := app.Request()
 	if err != nil {
-		return fail(err)
+		return app.Fail(err)
+	}
+	req.EpochTrace = *epochTrace
+	cfg, opts, err := req.Resolve()
+	if err != nil {
+		return app.Fail(err)
 	}
 	if *dieMap {
 		vm := variation.Generate(cfg.VariationSeed, 8, 8, cfg.CoreVdd, variation.DefaultParams())
@@ -70,14 +84,10 @@ func run() int {
 		fmt.Print(vm.DieMap(cfg.ClusterSize))
 		fmt.Println()
 	}
-	fp, err := c.FaultParams(cfg.NumClusters())
-	if err != nil {
-		return fail(err)
-	}
 
-	cleanup, err := c.Start()
+	cleanup, err := app.Start()
 	if err != nil {
-		return fail(err)
+		return app.Fail(err)
 	}
 	defer func() {
 		if err := cleanup(); err != nil {
@@ -85,30 +95,25 @@ func run() int {
 		}
 	}()
 
-	var opts sim.Options
-	if err := c.Apply(&opts, nil); err != nil {
-		return fail(err)
-	}
-	opts.EpochTrace = *epochTrace
-	opts.Faults = fp
+	app.LimitJobs()
+	opts.Telemetry = app.Collector()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := sim.RunContext(ctx, cfg, t.BenchName, opts)
-	partial := err != nil && errors.Is(err, context.Canceled)
-	var wear *endurance.WearOutError
-	woreOut := errors.As(err, &wear)
-	if err != nil && !partial && !woreOut {
-		return fail(err)
+	res, runErr := sim.RunContext(ctx, cfg, req.Bench, opts)
+	doc, err := v1.NewResult(req, res, runErr)
+	if err != nil {
+		return app.Fail(err)
 	}
+	app.SetMetricsDoc(func() (any, error) { return doc, nil })
 
 	fmt.Printf("%v on %s (%v cache, %d-core clusters, %d instr/thread)\n\n",
-		cfg.Kind, t.BenchName, cfg.Scale, cfg.ClusterSize, opts.QuotaInstr)
-	if partial {
+		cfg.Kind, req.Bench, cfg.Scale, cfg.ClusterSize, opts.QuotaInstr)
+	switch doc.Status {
+	case v1.StatusPartial:
 		fmt.Printf("INTERRUPTED at cycle %d — statistics below are partial\n\n", res.Cycles)
-	}
-	if woreOut {
-		fmt.Printf("WORE OUT: %v — statistics below cover the array's lifetime\n\n", wear)
+	case v1.StatusWearOut:
+		fmt.Printf("WORE OUT: %s — statistics below cover the array's lifetime\n\n", doc.Detail)
 	}
 	tbl := report.NewTable("", "metric", "value")
 	tbl.AddRow("execution time", report.Millis(res.TimePS))
@@ -163,9 +168,4 @@ func run() int {
 		fmt.Print(report.Trace("consolidation trace (active cores, cluster 0):", &res.Trace, 16, 32, 32))
 	}
 	return 0
-}
-
-func fail(err error) int {
-	fmt.Fprintf(os.Stderr, "respin-sim: %v\n", err)
-	return 1
 }

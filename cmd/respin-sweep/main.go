@@ -34,12 +34,18 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
-	t := cli.Target{BenchName: "fft"}
-	t.Register(flag.CommandLine, cli.TBench)
-	var c cli.Common
-	c.Register(flag.CommandLine, cli.Defaults{Quota: 100_000, Seed: 1})
+	c := cli.New("respin-sweep",
+		cli.WithTarget(cli.Target{BenchName: "fft"}, cli.TBench),
+		cli.WithRunFlags(cli.Defaults{Quota: 100_000, Seed: 1}),
+		cli.WithParallelFlags(),
+		cli.WithProfileFlags(),
+		cli.WithTelemetryFlags(),
+		cli.WithFaultFlags(),
+		cli.WithEnduranceFlags(),
+	)
 	sweep := flag.String("sweep", "cluster", "sweep to run: cluster, epoch, scale")
 	flag.Parse()
+	t := c.Target
 
 	// Sweeps span cluster sizes, so resolve kills against the smallest
 	// cluster count any sweep point uses (medium scale, 64 cores).
@@ -73,7 +79,7 @@ func run() int {
 	case "scale":
 		s.scale(t.BenchName)
 	default:
-		fmt.Fprintf(os.Stderr, "respin-sweep: unknown sweep %q\n", *sweep)
+		fmt.Fprintf(os.Stderr, "respin-sweep: unknown sweep %q (valid: cluster, epoch, scale)\n", *sweep)
 		return 2
 	}
 	return 0

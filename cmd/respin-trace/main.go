@@ -25,12 +25,18 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
-	t := cli.Target{ConfigName: "SH-STT-CC", BenchName: "radix"}
-	t.Register(flag.CommandLine, cli.TConfig|cli.TBench)
-	var c cli.Common
-	c.Register(flag.CommandLine, cli.Defaults{Quota: 400_000, Seed: 1})
+	c := cli.New("respin-trace",
+		cli.WithTarget(cli.Target{ConfigName: "SH-STT-CC", BenchName: "radix"}, cli.TConfig|cli.TBench),
+		cli.WithRunFlags(cli.Defaults{Quota: 400_000, Seed: 1}),
+		cli.WithParallelFlags(),
+		cli.WithProfileFlags(),
+		cli.WithTelemetryFlags(),
+		cli.WithFaultFlags(),
+		cli.WithEnduranceFlags(),
+	)
 	what := flag.String("what", "trace", "output: trace, histograms")
 	flag.Parse()
+	t := c.Target
 
 	cfg, err := t.Config()
 	if err != nil {
@@ -99,7 +105,7 @@ func run() int {
 				strconv.FormatFloat(res.ReadCoreCycles.Fraction(i), 'f', 6, 64)})
 		}
 	default:
-		return fail(fmt.Errorf("unknown -what %q", *what))
+		return fail(fmt.Errorf("unknown -what %q (valid: trace, histograms)", *what))
 	}
 	return 0
 }

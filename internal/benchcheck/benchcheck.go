@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	v1 "respin/internal/api/v1"
 )
 
 // Entry holds one benchmark's numbers, either from the baseline file
@@ -30,11 +32,14 @@ type Entry struct {
 
 // Baseline mirrors the BENCH_baseline.json schema.
 type Baseline struct {
-	Meta       json.RawMessage  `json:"_meta,omitempty"`
-	Benchmarks map[string]Entry `json:"benchmarks"`
+	SchemaVersion string           `json:"schema_version"`
+	Meta          json.RawMessage  `json:"_meta,omitempty"`
+	Benchmarks    map[string]Entry `json:"benchmarks"`
 }
 
-// LoadBaseline reads and decodes a BENCH_baseline.json file.
+// LoadBaseline reads and decodes a BENCH_baseline.json file. The file
+// carries the shared wire schema version; a baseline written against a
+// different schema is rejected rather than silently half-compared.
 func LoadBaseline(path string) (*Baseline, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -43,6 +48,10 @@ func LoadBaseline(path string) (*Baseline, error) {
 	var b Baseline
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.SchemaVersion != v1.SchemaVersion {
+		return nil, fmt.Errorf("%s: unsupported schema_version %q (want %q)",
+			path, b.SchemaVersion, v1.SchemaVersion)
 	}
 	if len(b.Benchmarks) == 0 {
 		return nil, fmt.Errorf("%s: no benchmarks", path)

@@ -97,7 +97,7 @@ func TestCompareDriftAndMissing(t *testing.T) {
 
 func TestCheckEndToEnd(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.json")
-	data := `{"benchmarks": {
+	data := `{"schema_version": "respin/v1", "benchmarks": {
 		"BenchmarkFigure1": {"ns_op": 1, "metrics": {"NT-leak-%": 83.70}},
 		"BenchmarkSimThroughput": {"ns_op": 1, "metrics": {"instr/s": 1}}
 	}}`
@@ -114,6 +114,24 @@ func TestCheckEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(rep.String(), "all match") {
 		t.Errorf("report = %q", rep.String())
+	}
+}
+
+// TestLoadBaselineVersionGate rejects baselines written against a
+// missing or foreign schema version instead of half-comparing them.
+func TestLoadBaselineVersionGate(t *testing.T) {
+	for name, data := range map[string]string{
+		"missing": `{"benchmarks": {"B": {"ns_op": 1}}}`,
+		"foreign": `{"schema_version": "respin/v9", "benchmarks": {"B": {"ns_op": 1}}}`,
+	} {
+		path := filepath.Join(t.TempDir(), name+".json")
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadBaseline(path)
+		if err == nil || !strings.Contains(err.Error(), "schema_version") {
+			t.Errorf("%s baseline: err = %v, want schema_version rejection", name, err)
+		}
 	}
 }
 

@@ -1,28 +1,39 @@
 // Package cli is the shared command-line surface of the respin tools.
-// Every flag that more than one of cmd/respin-{sim,bench,sweep,trace}
-// needs — seeds, quotas, parallelism, profiling, fault injection, and
-// the telemetry outputs — is declared exactly once here, so the four
-// mains register a Common (and usually a Target), parse, and apply.
+// Every flag that more than one of cmd/respin-{sim,bench,sweep,trace,
+// serve} needs — seeds, quotas, parallelism, profiling, fault
+// injection, and the telemetry outputs — is declared exactly once here.
+// Each tool assembles an App from the flag groups it actually supports:
 //
-// The lifecycle is:
-//
-//	c := cli.Common{}
-//	c.Register(flag.CommandLine, cli.Defaults{Quota: ..., Seed: 1})
+//	app := cli.New("respin-sim",
+//		cli.WithTarget(cli.Target{ConfigName: "SH-STT"}, cli.TAll),
+//		cli.WithRunFlags(cli.Defaults{Quota: sim.DefaultQuota}),
+//		cli.WithParallelFlags(),
+//		cli.WithProfileFlags(),
+//		cli.WithTelemetryFlags(),
+//		cli.WithFaultFlags(),
+//		cli.WithEnduranceFlags(),
+//	)
 //	flag.Parse()
-//	cleanup, err := c.Start()        // profiling + telemetry outputs
+//	cleanup, err := app.Start()      // profiling + telemetry outputs
 //	defer cleanup()
-//	err = c.Apply(&opts, nil)        // or c.Apply(nil, runner)
+//	req, err := app.Request()        // the v1.RunRequest the flags denote
+//	// ... or app.Apply(&opts, nil) / app.Apply(nil, runner)
+//
+// A group that was not requested registers no flags and costs nothing;
+// its accessors degrade gracefully (nil fault flags inject nothing, a
+// nil collector disables telemetry). Enum-valued flags — -config,
+// -bench, -scale, -ecc — reject unknown values with an error that lists
+// every valid one, the same convention respin-bench's -only uses.
 package cli
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 
+	v1 "respin/internal/api/v1"
 	"respin/internal/config"
 	"respin/internal/endurance"
 	"respin/internal/experiments"
@@ -32,7 +43,7 @@ import (
 	"respin/internal/telemetry"
 )
 
-// Defaults parameterizes the per-tool defaults of the shared flags.
+// Defaults parameterizes the per-tool defaults of the run flags.
 type Defaults struct {
 	// Quota is the default -quota value.
 	Quota uint64
@@ -40,7 +51,9 @@ type Defaults struct {
 	Seed int64
 }
 
-// Common holds the flag values shared by all four respin commands.
+// Common holds the flag values shared by the respin commands. Which
+// fields are actually wired to flags depends on the groups the App was
+// built with; unwired fields keep their zero values.
 type Common struct {
 	Seed       int64
 	Jobs       int
@@ -54,38 +67,185 @@ type Common struct {
 	// nil (zero overhead, bit-identical results).
 	Metrics string
 	Events  string
-	// Faults is the fault-injection flag group (always registered).
+	// Faults is the fault-injection flag group (nil unless
+	// WithFaultFlags was given).
 	Faults *faults.Flags
-	// Endurance is the STT wear/retention flag group (always
-	// registered; all defaults disable the model).
+	// Endurance is the STT wear/retention flag group (nil unless
+	// WithEnduranceFlags was given; a nil group disables the model).
 	Endurance *endurance.Flags
 
 	collector  *telemetry.Collector
 	eventsFile *os.File
+	metricsDoc func() (any, error)
 }
 
-// Register declares the shared flags on fs. Call before fs.Parse.
-func (c *Common) Register(fs *flag.FlagSet, d Defaults) {
-	if d.Seed == 0 {
-		d.Seed = 1
+// groupSet selects which flag groups an App registers.
+type groupSet uint
+
+const (
+	groupRun groupSet = 1 << iota
+	groupParallel
+	groupProfile
+	groupTelemetry
+	groupFaults
+	groupEndurance
+	groupTarget
+)
+
+// App is one tool's assembled command-line surface: the shared flag
+// values plus the target selection, registered on a flag set by New.
+type App struct {
+	Name string
+	Common
+	Target Target
+
+	fs          *flag.FlagSet
+	groups      groupSet
+	defaults    Defaults
+	targetWhich TargetFlags
+}
+
+// Option configures an App under construction.
+type Option func(*App)
+
+// WithFlagSet registers on fs instead of flag.CommandLine (tests).
+func WithFlagSet(fs *flag.FlagSet) Option {
+	return func(a *App) { a.fs = fs }
+}
+
+// WithRunFlags registers -seed, -quota and -q with the given defaults.
+func WithRunFlags(d Defaults) Option {
+	return func(a *App) { a.groups |= groupRun; a.defaults = d }
+}
+
+// WithParallelFlags registers -jobs and -workers.
+func WithParallelFlags() Option {
+	return func(a *App) { a.groups |= groupParallel }
+}
+
+// WithProfileFlags registers -cpuprofile and -memprofile.
+func WithProfileFlags() Option {
+	return func(a *App) { a.groups |= groupProfile }
+}
+
+// WithTelemetryFlags registers -metrics and -events.
+func WithTelemetryFlags() Option {
+	return func(a *App) { a.groups |= groupTelemetry }
+}
+
+// WithFaultFlags registers the fault-injection group (-fault-seed,
+// -stt-write-fail, -sram-bitflip, -ecc, ...). All defaults inject
+// nothing.
+func WithFaultFlags() Option {
+	return func(a *App) { a.groups |= groupFaults }
+}
+
+// WithEnduranceFlags registers the STT wear/retention group
+// (-endurance-budget, -retention-cycles, ...). All defaults disable
+// the model.
+func WithEnduranceFlags() Option {
+	return func(a *App) { a.groups |= groupEndurance }
+}
+
+// WithTarget registers the selected target flags, with t's fields as
+// defaults.
+func WithTarget(t Target, which TargetFlags) Option {
+	return func(a *App) { a.groups |= groupTarget; a.Target = t; a.targetWhich = which }
+}
+
+// New assembles a tool's command-line surface from the given flag
+// groups and registers it (on flag.CommandLine unless WithFlagSet says
+// otherwise). The caller still owns Parse, so it can declare
+// tool-specific flags after New and before parsing.
+func New(name string, opts ...Option) *App {
+	a := &App{Name: name, fs: flag.CommandLine}
+	for _, opt := range opts {
+		opt(a)
 	}
-	fs.Int64Var(&c.Seed, "seed", d.Seed, "randomness seed")
-	fs.IntVar(&c.Jobs, "jobs", 0, "cap parallelism across simulations (0 = all cores)")
-	fs.IntVar(&c.Workers, "workers", 1, "parallel cluster workers inside each simulation (results are bit-identical at any value)")
-	fs.Uint64Var(&c.Quota, "quota", d.Quota, "per-thread instruction budget")
-	fs.BoolVar(&c.Quiet, "q", false, "suppress progress output")
-	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
-	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
-	fs.StringVar(&c.Metrics, "metrics", "", "write the final telemetry metric snapshot (JSON) to this file")
-	fs.StringVar(&c.Events, "events", "", "stream telemetry events (JSONL) to this file")
-	c.Faults = faults.BindTo(fs)
-	c.Endurance = endurance.BindTo(fs)
+	a.register()
+	return a
+}
+
+// register declares the selected groups' flags.
+func (a *App) register() {
+	fs := a.fs
+	if a.groups&groupRun != 0 {
+		d := a.defaults
+		if d.Seed == 0 {
+			d.Seed = 1
+		}
+		fs.Int64Var(&a.Seed, "seed", d.Seed, "randomness seed")
+		fs.Uint64Var(&a.Quota, "quota", d.Quota, "per-thread instruction budget")
+		fs.BoolVar(&a.Quiet, "q", false, "suppress progress output")
+	}
+	if a.groups&groupParallel != 0 {
+		fs.IntVar(&a.Jobs, "jobs", 0, "cap parallelism across simulations (0 = all cores)")
+		fs.IntVar(&a.Workers, "workers", 1, "parallel cluster workers inside each simulation (results are bit-identical at any value)")
+	}
+	if a.groups&groupProfile != 0 {
+		fs.StringVar(&a.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+		fs.StringVar(&a.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	}
+	if a.groups&groupTelemetry != 0 {
+		fs.StringVar(&a.Metrics, "metrics", "", "write the final telemetry document (versioned JSON) to this file")
+		fs.StringVar(&a.Events, "events", "", "stream telemetry events (JSONL) to this file")
+	}
+	if a.groups&groupFaults != 0 {
+		a.Faults = faults.BindTo(fs)
+	}
+	if a.groups&groupEndurance != 0 {
+		a.Endurance = endurance.BindTo(fs)
+	}
+	if a.groups&groupTarget != 0 {
+		a.Target.Register(fs, a.targetWhich)
+	}
+}
+
+// Request assembles the v1.RunRequest the parsed flags denote,
+// normalized — the same document a client would POST to /v1/run for
+// this invocation, which is what makes CLI and served output
+// byte-identical.
+func (a *App) Request() (v1.RunRequest, error) {
+	req := v1.RunRequest{
+		Config:  a.Target.ConfigName,
+		Bench:   a.Target.BenchName,
+		Scale:   a.Target.ScaleName,
+		Cluster: a.Target.Cluster,
+		Quota:   a.Quota,
+		Seed:    a.Seed,
+		Workers: a.Workers,
+	}
+	if f := a.Faults; f != nil {
+		req.Faults = &v1.FaultSpec{
+			Seed:                f.Seed,
+			STTWriteFail:        f.STTWriteFail,
+			SRAMBitFlip:         f.SRAMBitFlip,
+			ECC:                 f.ECCName,
+			HaltOnUncorrectable: f.Halt,
+			KillCores:           f.KillCores,
+			KillCycle:           f.KillCycle,
+		}
+	}
+	if e := a.Endurance; e != nil {
+		req.Endurance = &v1.EnduranceSpec{
+			Budget:          e.Budget,
+			Sigma:           e.Sigma,
+			RetentionCycles: e.RetentionCycles,
+			ScrubPeriod:     e.ScrubPeriod,
+			WearLevel:       e.WearLevel,
+			WearLevelPeriod: e.WearLevelPeriod,
+		}
+	}
+	if err := req.Normalize(); err != nil {
+		return v1.RunRequest{}, err
+	}
+	return req, nil
 }
 
 // Start begins CPU profiling and opens the telemetry outputs. It
 // returns a cleanup function that stops the profile, writes the heap
-// profile and the metric snapshot, and closes the event stream; call it
-// exactly once (normally deferred) and report its error.
+// profile and the -metrics document, and closes the event stream; call
+// it exactly once (normally deferred) and report its error.
 func (c *Common) Start() (cleanup func() error, err error) {
 	stopCPU, err := prof.StartCPU(c.CPUProfile)
 	if err != nil {
@@ -107,9 +267,13 @@ func (c *Common) Start() (cleanup func() error, err error) {
 	return func() error {
 		errs := []error{stopCPU(), prof.WriteHeap(c.MemProfile)}
 		if c.Metrics != "" {
-			data, err := json.MarshalIndent(c.collector.Snapshot(), "", "  ")
+			doc, err := c.buildMetricsDoc()
 			if err == nil {
-				err = os.WriteFile(c.Metrics, append(data, '\n'), 0o644)
+				var data []byte
+				data, err = v1.EncodeBytes(doc)
+				if err == nil {
+					err = os.WriteFile(c.Metrics, data, 0o644)
+				}
 			}
 			errs = append(errs, err)
 		}
@@ -123,9 +287,32 @@ func (c *Common) Start() (cleanup func() error, err error) {
 	}, nil
 }
 
+// SetMetricsDoc overrides the document the -metrics file receives: by
+// default it is the versioned metric snapshot (v1.MetricsDoc);
+// respin-sim substitutes the full v1.RunResult so its -metrics file is
+// byte-identical to the served /v1/run response.
+func (c *Common) SetMetricsDoc(fn func() (any, error)) { c.metricsDoc = fn }
+
+// buildMetricsDoc resolves the -metrics document at cleanup time.
+func (c *Common) buildMetricsDoc() (any, error) {
+	if c.metricsDoc != nil {
+		return c.metricsDoc()
+	}
+	return v1.NewMetricsDoc(c.collector.Snapshot()), nil
+}
+
 // Collector returns the telemetry collector built by Start (nil when
 // neither -metrics nor -events was given).
 func (c *Common) Collector() *telemetry.Collector { return c.collector }
+
+// LimitJobs applies -jobs as a GOMAXPROCS cap — how single-simulation
+// tools bound their parallelism (pool-based tools size their worker
+// pool instead).
+func (c *Common) LimitJobs() {
+	if c.Jobs > 0 {
+		runtime.GOMAXPROCS(c.Jobs)
+	}
+}
 
 // Apply transfers the parsed flag values onto a simulation Options
 // and/or an experiments Runner (either may be nil) and normalizes the
@@ -138,9 +325,7 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 		opts.Workers = c.Workers
 		opts.Telemetry = c.collector
 		opts.Endurance = c.Endurance.Params(c.faultSeed())
-		if c.Jobs > 0 {
-			runtime.GOMAXPROCS(c.Jobs)
-		}
+		c.LimitJobs()
 		if err := opts.Normalize(); err != nil {
 			return err
 		}
@@ -168,13 +353,16 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 }
 
 // FaultParams resolves the fault-injection flags for a chip with the
-// given cluster count.
+// given cluster count; without WithFaultFlags it injects nothing.
 func (c *Common) FaultParams(numClusters int) (faults.Params, error) {
+	if c.Faults == nil {
+		return faults.Params{}, nil
+	}
 	return c.Faults.Params(numClusters)
 }
 
-// faultSeed reads the -fault-seed value, tolerating a Common that was
-// never Registered (tests build them by hand; the flag groups are nil).
+// faultSeed reads the -fault-seed value, tolerating an App built
+// without the fault group.
 func (c *Common) faultSeed() int64 {
 	if c.Faults == nil {
 		return 0
@@ -222,27 +410,16 @@ func (t *Target) Register(fs *flag.FlagSet, which TargetFlags) {
 	}
 }
 
-// Kind resolves -config against the Table IV mnemonics.
+// Kind resolves -config against the Table IV mnemonics; an unknown name
+// errors listing every valid one.
 func (t *Target) Kind() (config.ArchKind, error) {
-	for _, k := range config.AllArchKinds {
-		if strings.EqualFold(k.String(), t.ConfigName) {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown configuration %q (try -list)", t.ConfigName)
+	return config.KindByName(t.ConfigName)
 }
 
-// Scale resolves -scale; an empty name selects medium.
+// Scale resolves -scale; an empty name selects medium, an unknown one
+// errors listing the valid scales.
 func (t *Target) Scale() (config.CacheScale, error) {
-	switch strings.ToLower(t.ScaleName) {
-	case "", "medium":
-		return config.Medium, nil
-	case "small":
-		return config.Small, nil
-	case "large":
-		return config.Large, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", t.ScaleName)
+	return config.ScaleByName(t.ScaleName)
 }
 
 // Config resolves the full target into a chip configuration.
@@ -259,4 +436,11 @@ func (t *Target) Config() (config.Config, error) {
 		return config.New(kind, scale), nil
 	}
 	return config.NewWithCluster(kind, scale, t.Cluster), nil
+}
+
+// Fail is the shared error epilogue of the respin mains: report the
+// error under the tool's name and select exit status 1.
+func (a *App) Fail(err error) int {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+	return 1
 }

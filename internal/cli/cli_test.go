@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"respin/internal/config"
@@ -19,25 +20,53 @@ func newFlagSet() *flag.FlagSet {
 	return fs
 }
 
-func TestRegisterDefaults(t *testing.T) {
+// newApp assembles a test App on a private flag set with the full
+// group set unless narrower options are given.
+func newApp(opts ...Option) (*App, *flag.FlagSet) {
 	fs := newFlagSet()
-	var c Common
-	c.Register(fs, Defaults{Quota: 123})
+	if len(opts) == 0 {
+		opts = []Option{
+			WithRunFlags(Defaults{}),
+			WithParallelFlags(),
+			WithProfileFlags(),
+			WithTelemetryFlags(),
+			WithFaultFlags(),
+			WithEnduranceFlags(),
+		}
+	}
+	return New("test", append([]Option{WithFlagSet(fs)}, opts...)...), fs
+}
+
+func TestNewDefaults(t *testing.T) {
+	a, fs := newApp(WithRunFlags(Defaults{Quota: 123}), WithFaultFlags())
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if c.Quota != 123 || c.Seed != 1 {
-		t.Fatalf("defaults: quota=%d seed=%d", c.Quota, c.Seed)
+	if a.Quota != 123 || a.Seed != 1 {
+		t.Fatalf("defaults: quota=%d seed=%d", a.Quota, a.Seed)
 	}
-	if c.Faults == nil || c.Faults.Seed != 1 || c.Faults.ECCName != "SECDED" {
-		t.Fatalf("fault flags not registered: %+v", c.Faults)
+	if a.Faults == nil || a.Faults.Seed != 1 || a.Faults.ECCName != "SECDED" {
+		t.Fatalf("fault flags not registered: %+v", a.Faults)
 	}
 }
 
-func TestRegisterParsesSharedFlags(t *testing.T) {
-	fs := newFlagSet()
-	var c Common
-	c.Register(fs, Defaults{Quota: 100})
+func TestNewRegistersOnlyRequestedGroups(t *testing.T) {
+	a, fs := newApp(WithRunFlags(Defaults{Quota: 9}))
+	for _, name := range []string{"jobs", "workers", "cpuprofile", "metrics", "fault-seed", "endurance-budget", "config"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("unrequested flag -%s registered", name)
+		}
+	}
+	if fs.Lookup("seed") == nil || fs.Lookup("quota") == nil {
+		t.Fatal("requested run flags missing")
+	}
+	if a.Faults != nil || a.Endurance != nil {
+		t.Fatalf("unrequested groups populated: %+v", a.Common)
+	}
+}
+
+func TestNewParsesSharedFlags(t *testing.T) {
+	a, fs := newApp()
 	args := []string{
 		"-seed", "7", "-jobs", "2", "-quota", "555", "-q",
 		"-cpuprofile", "cpu.out", "-memprofile", "mem.out",
@@ -47,15 +76,66 @@ func TestRegisterParsesSharedFlags(t *testing.T) {
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
 	}
-	if c.Seed != 7 || c.Jobs != 2 || c.Quota != 555 || !c.Quiet {
-		t.Fatalf("parsed common = %+v", c)
+	if a.Seed != 7 || a.Jobs != 2 || a.Quota != 555 || !a.Quiet {
+		t.Fatalf("parsed common = %+v", a.Common)
 	}
-	if c.CPUProfile != "cpu.out" || c.MemProfile != "mem.out" ||
-		c.Metrics != "m.json" || c.Events != "e.jsonl" {
-		t.Fatalf("parsed outputs = %+v", c)
+	if a.CPUProfile != "cpu.out" || a.MemProfile != "mem.out" ||
+		a.Metrics != "m.json" || a.Events != "e.jsonl" {
+		t.Fatalf("parsed outputs = %+v", a.Common)
 	}
-	if c.Faults.STTWriteFail != 0.001 || c.Faults.KillCores != 2 {
-		t.Fatalf("parsed fault flags = %+v", c.Faults)
+	if a.Faults.STTWriteFail != 0.001 || a.Faults.KillCores != 2 {
+		t.Fatalf("parsed fault flags = %+v", a.Faults)
+	}
+}
+
+// TestRequestMatchesFlags: the App's RunRequest is the normalized
+// document the parsed flags denote — default fault/endurance groups
+// normalize away, explicit injection survives.
+func TestRequestMatchesFlags(t *testing.T) {
+	a, fs := newApp(
+		WithTarget(Target{ConfigName: "SH-STT", BenchName: "fft", ScaleName: "medium", Cluster: 16}, TAll),
+		WithRunFlags(Defaults{Quota: sim.DefaultQuota}),
+		WithParallelFlags(),
+		WithFaultFlags(),
+		WithEnduranceFlags(),
+	)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	req, err := a.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Config != "SH-STT" || req.Bench != "fft" || req.Quota != sim.DefaultQuota ||
+		req.Seed != 1 || req.Workers != 0 {
+		t.Fatalf("request = %+v", req)
+	}
+	if req.Faults != nil || req.Endurance != nil {
+		t.Fatalf("default flag groups produced specs: %+v", req)
+	}
+
+	a2, fs2 := newApp(
+		WithTarget(Target{ConfigName: "SH-STT", BenchName: "fft"}, TAll),
+		WithRunFlags(Defaults{Quota: sim.DefaultQuota}),
+		WithFaultFlags(),
+	)
+	if err := fs2.Parse([]string{"-stt-write-fail", "0.001", "-ecc", "dected"}); err != nil {
+		t.Fatal(err)
+	}
+	req2, err := a2.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2.Faults == nil || req2.Faults.STTWriteFail != 0.001 || req2.Faults.ECC != "DECTED" {
+		t.Fatalf("fault flags lost: %+v", req2.Faults)
+	}
+
+	bad, fs3 := newApp(WithTarget(Target{ConfigName: "nope", BenchName: "fft"}, TAll))
+	if err := fs3.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Request(); err == nil || !strings.Contains(err.Error(), "SH-STT") {
+		t.Fatalf("unknown config error does not list valid values: %v", err)
 	}
 }
 
@@ -107,13 +187,11 @@ func TestApplyToRunner(t *testing.T) {
 }
 
 // flagDefaults parses an empty command line to obtain the default
-// Common (the fault flag group is only constructible via Register).
+// Common (the fault flag group is only constructible via New).
 func flagDefaults() Common {
-	fs := newFlagSet()
-	var c Common
-	c.Register(fs, Defaults{})
+	a, fs := newApp()
 	_ = fs.Parse(nil)
-	return c
+	return a.Common
 }
 
 func TestApplyRejectsInvalid(t *testing.T) {
@@ -141,20 +219,27 @@ func TestStartWritesTelemetryOutputs(t *testing.T) {
 	if err := cleanup(); err != nil {
 		t.Fatal(err)
 	}
-	var snap struct {
-		Metrics []struct {
-			Name  string  `json:"name"`
-			Value float64 `json:"value"`
+	var doc struct {
+		SchemaVersion string `json:"schema_version"`
+		Metrics       struct {
+			Metrics []struct {
+				Name  string  `json:"name"`
+				Value float64 `json:"value"`
+			} `json:"metrics"`
 		} `json:"metrics"`
 	}
 	data, err := os.ReadFile(c.Metrics)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := json.Unmarshal(data, &snap); err != nil {
+	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if len(snap.Metrics) != 1 || snap.Metrics[0].Name != "x" || snap.Metrics[0].Value != 4 {
+	if doc.SchemaVersion != "respin/v1" {
+		t.Fatalf("metrics document not versioned: %s", data)
+	}
+	m := doc.Metrics.Metrics
+	if len(m) != 1 || m[0].Name != "x" || m[0].Value != 4 {
 		t.Fatalf("metrics file = %s", data)
 	}
 	evdata, err := os.ReadFile(c.Events)
@@ -199,12 +284,12 @@ func TestTargetResolution(t *testing.T) {
 	}
 
 	bad := Target{ConfigName: "nope"}
-	if _, err := bad.Config(); err == nil {
-		t.Fatal("unknown config accepted")
+	if _, err := bad.Config(); err == nil || !strings.Contains(err.Error(), "SH-STT") {
+		t.Fatalf("unknown config error does not list valid values: %v", err)
 	}
 	bad = Target{ConfigName: "SH-STT", ScaleName: "tiny"}
-	if _, err := bad.Config(); err == nil {
-		t.Fatal("unknown scale accepted")
+	if _, err := bad.Config(); err == nil || !strings.Contains(err.Error(), "small, medium, large") {
+		t.Fatalf("unknown scale error does not list valid values: %v", err)
 	}
 
 	// Partial registration declares only the requested flags.

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Fundamental chip constants used across the evaluation (Section IV).
@@ -111,6 +112,33 @@ func (s CacheScale) String() string {
 
 // MarshalJSON encodes the scale as its name.
 func (s CacheScale) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// AllScales lists the evaluated hierarchy sizes in ascending order.
+var AllScales = []CacheScale{Small, Medium, Large}
+
+// ScaleByName resolves a scale name (as printed by String,
+// case-insensitive). The empty name selects Medium, the default the
+// tools and the paper's headline figures use. Unknown names error
+// listing every valid value.
+func ScaleByName(name string) (CacheScale, error) {
+	if name == "" {
+		return Medium, nil
+	}
+	for _, s := range AllScales {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown scale %q (valid: %s)", name, scaleNames())
+}
+
+func scaleNames() string {
+	names := make([]string, len(AllScales))
+	for i, s := range AllScales {
+		names[i] = s.String()
+	}
+	return strings.Join(names, ", ")
+}
 
 // L1Org selects private per-core L1s (with intra-cluster coherence) or a
 // single time-multiplexed L1 shared by the whole cluster.
@@ -382,6 +410,27 @@ func (k ArchKind) String() string {
 
 // MarshalJSON encodes the configuration as its mnemonic.
 func (k ArchKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// KindByName resolves a Table IV mnemonic (as printed by String,
+// case-insensitive). Unknown names error listing every valid value.
+func KindByName(name string) (ArchKind, error) {
+	for _, k := range AllArchKinds {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown configuration %q (valid: %s)", name, KindNames())
+}
+
+// KindNames returns the comma-separated Table IV mnemonics, for error
+// messages and usage strings.
+func KindNames() string {
+	names := make([]string, len(AllArchKinds))
+	for i, k := range AllArchKinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ", ")
+}
 
 // Description returns the Table IV description line.
 func (k ArchKind) Description() string {

@@ -1,10 +1,10 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"strings"
 
+	v1 "respin/internal/api/v1"
 	"respin/internal/config"
 	"respin/internal/report"
 )
@@ -217,10 +217,12 @@ func (s *Suite) Report() string {
 }
 
 // JSON serialises the comparison summary (for machine consumption; the
-// sections remain human-oriented text).
+// sections remain human-oriented text) in the versioned v1 envelope and
+// canonical encoding shared with every other machine-readable surface.
 func (s *Suite) JSON() ([]byte, error) {
-	return json.MarshalIndent(struct {
-		Comparisons []Comparison `json:"comparisons"`
-		Sections    []string     `json:"sections"`
-	}{s.Comparisons, s.Sections}, "", "  ")
+	return v1.EncodeBytes(struct {
+		SchemaVersion string       `json:"schema_version"`
+		Comparisons   []Comparison `json:"comparisons"`
+		Sections      []string     `json:"sections"`
+	}{v1.SchemaVersion, s.Comparisons, s.Sections})
 }

@@ -53,6 +53,14 @@ func (r *Runner) figure9Points() []Point {
 	return pts
 }
 
+// Figure9Points exposes the Figure 9 run set (the baseline plus every
+// Table IV configuration at the default point, deduplicated) so the
+// evaluation service's "fig9" sweep preset fans out exactly the runs
+// the figure driver would.
+func (r *Runner) Figure9Points() []Point {
+	return dedupePoints(r.figure9Points())
+}
+
 // clusterSweepPoints covers the Section V.D sweep.
 func (r *Runner) clusterSweepPoints() []Point {
 	var pts []Point

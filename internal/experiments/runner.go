@@ -13,6 +13,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -87,10 +88,12 @@ type Runner struct {
 
 // flight is one singleflight cache entry. The first requester of a key
 // (the leader) runs the simulation on a worker-pool slot; requesters
-// arriving while it is in flight block on done and share the result.
+// arriving while it is in flight block on done and share the result
+// (and its error, for the error-returning Do path).
 type flight struct {
 	done chan struct{}
 	res  sim.Result
+	err  error
 }
 
 // Point identifies one simulation of the evaluation's run set: the cache
@@ -241,14 +244,25 @@ func (r *Runner) semLocked() chan struct{} {
 	return r.sem
 }
 
-// shared executes fn for key exactly once across concurrent requesters.
+// shared executes fn for key exactly once across concurrent requesters,
+// ignoring the flight's error: the experiment drivers' fns return a
+// non-nil error only for Ctx cancellation, which Aborted (set inside
+// do) already records, and the partial result is still the right thing
+// to hand the report renderers.
+func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
+	res, _ := r.do(context.Background(), key, fn)
+	return res
+}
+
+// do executes fn for key exactly once across concurrent requesters.
 // The leader takes a worker-pool slot and publishes its result to every
 // requester that arrived in the meantime. Completed results are cached;
-// a run cut short by Ctx cancellation is handed to its current waiters
-// but never cached, so a partial result can never masquerade as a
-// complete one. fn returns a non-nil error only for cancellation —
-// simulator failures become attributed panics inside fn.
-func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
+// a run that returned an error — cancellation, a per-request deadline,
+// or a recovered failure from the Do path — is handed to its current
+// waiters but never cached, so a partial or failed result can never
+// masquerade as a complete one. Joiners stop waiting when their own
+// ctx is done (the flight keeps running for everyone else).
+func (r *Runner) do(ctx context.Context, key string, fn func() (sim.Result, error)) (sim.Result, error) {
 	r.registerTelemetry()
 	r.mu.Lock()
 	if r.cache == nil {
@@ -257,8 +271,12 @@ func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
 	if f, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		r.cacheHits.Add(1)
-		<-f.done
-		return f.res
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	r.cache[key] = f
@@ -283,16 +301,25 @@ func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
 		}()
 		return fn()
 	}()
+	// A wear-out is a deterministic recorded outcome (the lifetime
+	// report), so it caches like a completed run; cancellations,
+	// deadlines and recovered failures never do.
+	var wear *endurance.WearOutError
+	recorded := err == nil || errors.As(err, &wear)
 	r.mu.Lock()
-	if err != nil {
-		// Cancelled: the partial result reaches current waiters via the
-		// flight, but the cache entry is removed so nothing later can
-		// read it back as complete.
+	if !recorded {
+		// The result (partial or absent) reaches current waiters via
+		// the flight, but the cache entry is removed so nothing later
+		// can read it back as complete. Only runner-level cancellation
+		// marks the whole evaluation aborted — a single request's
+		// deadline or failure does not.
 		delete(r.cache, key)
-		r.aborted = true
+		if r.ctx().Err() != nil {
+			r.aborted = true
+		}
 	}
 	r.mu.Unlock()
-	if err == nil {
+	if recorded {
 		r.completed.Add(1)
 		if r.Telemetry.Enabled() {
 			r.Telemetry.Emit("run.progress", 0, map[string]any{
@@ -303,10 +330,46 @@ func (r *Runner) shared(key string, fn func() (sim.Result, error)) sim.Result {
 			})
 		}
 	}
-	f.res = res
+	f.res, f.err = res, err
 	close(f.done)
-	return res
+	return res, err
 }
+
+// Do executes (or recalls, or joins) one fully-specified simulation on
+// the runner's worker pool. It is the service entry point: unlike the
+// experiment drivers, which die with an attributed panic on simulator
+// failure, Do recovers panics into errors so one poisoned request can
+// never take down the process — and, because do never caches errors,
+// cannot poison the cache either. The leader runs under ctx (typically
+// the server's lifetime plus the request deadline), not the HTTP
+// request context, so a client disconnect does not kill a flight other
+// requesters share. opts must already be normalized; key must be a
+// canonical encoding of everything that affects the result.
+func (r *Runner) Do(ctx context.Context, key, label string, cfg config.Config, bench string, opts sim.Options) (sim.Result, error) {
+	return r.do(ctx, key, func() (res sim.Result, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("experiments: panic during %v/%v cl%d %s (seed %d, fault seed %d, quota %d): %v",
+					cfg.Kind, cfg.Scale, cfg.ClusterSize, bench, opts.Seed, opts.Faults.Seed, opts.QuotaInstr, p)
+			}
+		}()
+		res, err = sim.RunContext(ctx, cfg, bench, opts)
+		if err == nil {
+			r.progressf("ran %-40s: %8d kcycles, %s\n", label, res.Cycles/1000, fmtEnergy(res.EnergyPJ))
+		}
+		return res, err
+	})
+}
+
+// CacheHits reports how many requests were served by joining or
+// recalling an existing flight instead of starting a simulation.
+func (r *Runner) CacheHits() uint64 { return r.cacheHits.Load() }
+
+// RunsStarted reports how many simulations have been started.
+func (r *Runner) RunsStarted() uint64 { return r.started.Load() }
+
+// RunsCompleted reports how many simulations ran to a recorded outcome.
+func (r *Runner) RunsCompleted() uint64 { return r.completed.Load() }
 
 // Prefetch enqueues simulations without waiting for their results: each
 // point starts (or joins) its singleflight run on the worker pool, so a

@@ -90,12 +90,18 @@ func (e ECC) String() string {
 
 // ECCByName parses a scheme name (as printed by String, case-insensitive).
 func ECCByName(name string) (ECC, error) {
-	for _, e := range []ECC{NoECC, Parity, SECDED, DECTED} {
+	all := []ECC{NoECC, Parity, SECDED, DECTED}
+	for _, e := range all {
 		if strings.EqualFold(e.String(), name) {
 			return e, nil
 		}
 	}
-	return NoECC, fmt.Errorf("reliability: unknown ECC scheme %q", name)
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.String()
+	}
+	return NoECC, fmt.Errorf("reliability: unknown ECC scheme %q (valid: %s)",
+		name, strings.Join(names, ", "))
 }
 
 // wordBits is the protected word size.

@@ -22,6 +22,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Phase describes one execution phase of a workload.
@@ -271,7 +272,8 @@ func Names() []string {
 func ByName(name string) (Profile, error) {
 	p, ok := profiles[name]
 	if !ok {
-		return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+		return Profile{}, fmt.Errorf("trace: unknown benchmark %q (valid: %s)",
+			name, strings.Join(Names(), ", "))
 	}
 	return p, nil
 }
