@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"respin/internal/benchcheck"
+	"respin/internal/chaos"
 	"respin/internal/cli"
 	"respin/internal/experiments"
 )
@@ -48,8 +49,10 @@ func run() int {
 		cli.WithTelemetryFlags(),
 		cli.WithFaultFlags(),
 		cli.WithEnduranceFlags(),
+		cli.WithCheckpointFlags(),
 	)
 	quick := flag.Bool("quick", false, "reduced benchmark set and quotas")
+	chaosSeed := flag.Int64("chaos-seed", 0, "kill-point seed for -only chaos (0 = from the clock)")
 	traceQuota := flag.Uint64("trace-quota", 0, "override consolidation-trace budget")
 	benches := flag.String("benches", "", "comma-separated benchmark subset")
 	only := flag.String("only", "", "run a single experiment: "+onlyKeys)
@@ -61,6 +64,18 @@ func run() int {
 
 	if *baseline != "" {
 		return checkBaseline(*baseline, *benchOutput)
+	}
+	if *only == "chaos" {
+		// The kill-and-resume harness drives real respin-serve processes,
+		// not the in-process runner, so it dispatches before the runner
+		// is built.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := chaos.Run(ctx, chaos.Options{Progress: os.Stderr, Seed: *chaosSeed}); err != nil {
+			return fail(err)
+		}
+		fmt.Println("chaos: kill-and-resume convergence verified")
+		return 0
 	}
 
 	cleanup, err := c.Start()
@@ -155,7 +170,7 @@ func checkBaseline(baselinePath, benchPath string) int {
 // onlyKeys lists every -only id runOne accepts (aliases after their
 // canonical names); keep it in sync with the switch below.
 const onlyKeys = "fig1,fig2,tab1,tab3,tab4,vmin,area,variation,workloads," +
-	"fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14,faults,endurance"
+	"fig6,fig7,fig8,fig9,sweep,fig10,fig11,fig12,fig13,fig14,faults,endurance,chaos"
 
 // runOne dispatches a single experiment by id.
 func runOne(r *experiments.Runner, id string) (string, bool) {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +47,9 @@ func run() int {
 	queue := flag.Int("queue", 0, "admission queue capacity (0 = 2x job slots)")
 	grace := flag.Duration("grace", 60*time.Second, "drain grace period for in-flight runs on shutdown")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	journalDir := flag.String("journal", "", "directory for the crash-safe run journal (restart replays completed runs and resumes interrupted ones)")
+	journalEvery := flag.Uint64("journal-every", 0, "checkpoint cadence in simulated cycles for journaled runs (0 = 20000)")
+	quick := flag.Bool("quick", false, "use the reduced evaluation runner (short quotas, four benchmarks)")
 	flag.Parse()
 
 	cleanup, err := app.Start()
@@ -59,15 +63,20 @@ func run() int {
 	}()
 
 	r := experiments.NewRunner()
+	if *quick {
+		r = experiments.QuickRunner()
+	}
 	r.Jobs = app.Jobs
 	r.Workers = app.Workers
 	if !*quiet {
 		r.Progress = os.Stderr
 	}
 	s, err := serve.New(serve.Options{
-		Runner:    r,
-		Queue:     *queue,
-		Telemetry: app.Collector(),
+		Runner:                  r,
+		Queue:                   *queue,
+		Telemetry:               app.Collector(),
+		Journal:                 *journalDir,
+		JournalCheckpointCycles: *journalEvery,
 	})
 	if err != nil {
 		return app.Fail(err)
@@ -87,8 +96,15 @@ func run() int {
 		shutdownErr <- httpSrv.Shutdown(shCtx)
 	}()
 
-	fmt.Fprintf(os.Stderr, "respin-serve: listening on %s\n", *addr)
-	err = httpSrv.ListenAndServe()
+	// Listen explicitly so ":0" works: the resolved address is printed,
+	// which is how the chaos harness (and scripts) find an
+	// ephemeral-port server.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return app.Fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "respin-serve: listening on %s\n", ln.Addr())
+	err = httpSrv.Serve(ln)
 	if !errors.Is(err, http.ErrServerClosed) {
 		return app.Fail(err)
 	}

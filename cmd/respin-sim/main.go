@@ -11,11 +11,21 @@
 //	           [-fault-seed 1] [-stt-write-fail P] [-sram-bitflip P]
 //	           [-ecc SECDED] [-kill-cores N] [-kill-cycle C]
 //	           [-endurance-budget B] [-retention-cycles R] [-wear-level]
+//	           [-checkpoint f] [-checkpoint-every N] [-resume f]
 //
 // The flags denote a v1.RunRequest — the same document a client would
 // POST to respin-serve's /v1/run — and -metrics writes the full
 // v1.RunResult envelope, byte-identical to the served response for the
 // same request.
+//
+// -checkpoint writes a crash-recovery checkpoint to f at every epoch
+// boundary that is -checkpoint-every cycles past the previous one;
+// -resume continues an interrupted run from such a file to a result
+// bit-identical to the uninterrupted run. A resumed run takes its
+// identity — configuration, benchmark, seed, quota, fault and endurance
+// knobs — from the checkpoint; the target/run flags are ignored, and
+// the request echoed in the -metrics envelope carries the identity
+// fields the checkpoint records.
 //
 // SIGINT cancels the run; the statistics measured up to the
 // interruption are still reported (marked partial).
@@ -51,6 +61,7 @@ func run() int {
 		cli.WithTelemetryFlags(),
 		cli.WithFaultFlags(),
 		cli.WithEnduranceFlags(),
+		cli.WithCheckpointFlags(),
 	)
 	epochTrace := flag.Bool("trace", false, "print the consolidation trace")
 	dieMap := flag.Bool("diemap", false, "print the variation die map before running")
@@ -100,7 +111,44 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, runErr := sim.RunContext(ctx, cfg, req.Bench, opts)
+	var res sim.Result
+	var runErr error
+	if app.Resume != "" {
+		// Resume an interrupted run from its checkpoint. The run's
+		// identity (configuration, benchmark, seed, quota) comes from the
+		// checkpoint, not the flags; req is rebuilt from it so the report
+		// header and -metrics envelope describe the run that actually
+		// executed.
+		info, err := sim.CheckpointInfo(app.Resume)
+		if err != nil {
+			return app.Fail(err)
+		}
+		cfg = info.Config
+		req = v1.RunRequest{
+			Config:  cfg.Kind.String(),
+			Bench:   info.Bench,
+			Scale:   cfg.Scale.String(),
+			Cluster: cfg.ClusterSize,
+			Quota:   info.QuotaInstr,
+			Seed:    info.Seed,
+		}
+		if err := req.Normalize(); err != nil {
+			return app.Fail(err)
+		}
+		opts.QuotaInstr = info.QuotaInstr
+		fmt.Fprintf(os.Stderr, "respin-sim: resuming %v/%s from cycle %d\n", cfg.Kind, info.Bench, info.Cycle)
+		s, err := sim.Resume(app.Resume,
+			sim.WithTelemetry(app.Collector()),
+			sim.WithWorkers(app.Workers),
+			sim.WithCheckpoint(app.CheckpointSpec()))
+		if err != nil {
+			return app.Fail(err)
+		}
+		res, runErr = s.RunContext(ctx)
+	} else {
+		opts.Checkpoint = app.CheckpointSpec()
+		res, runErr = sim.RunContext(ctx, cfg, req.Bench, opts)
+	}
 	doc, err := v1.NewResult(req, res, runErr)
 	if err != nil {
 		return app.Fail(err)

@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -42,6 +44,7 @@ func run() int {
 		cli.WithTelemetryFlags(),
 		cli.WithFaultFlags(),
 		cli.WithEnduranceFlags(),
+		cli.WithCheckpointFlags(),
 	)
 	sweep := flag.String("sweep", "cluster", "sweep to run: cluster, epoch, scale")
 	flag.Parse()
@@ -70,7 +73,13 @@ func run() int {
 	}
 	opts.Faults = fp
 
-	s := &sweeper{opts: opts, jobs: c.Jobs, tele: c.Collector()}
+	s := &sweeper{opts: opts, jobs: c.Jobs, tele: c.Collector(),
+		ckptDir: c.CheckpointDir(), every: c.CheckpointEvery}
+	if s.ckptDir != "" {
+		if err := os.MkdirAll(s.ckptDir, 0o755); err != nil {
+			return fail(err)
+		}
+	}
 	switch *sweep {
 	case "cluster":
 		s.cluster(t.BenchName)
@@ -90,6 +99,11 @@ type sweeper struct {
 	opts sim.Options
 	jobs int
 	tele *telemetry.Collector
+	// ckptDir, when non-empty, holds one crash-recovery checkpoint per
+	// sweep point (keyed by label); a re-invoked sweep resumes
+	// interrupted points from it, bit-identically.
+	ckptDir string
+	every   uint64
 }
 
 // runAll executes fn(0..n-1) with at most jobs concurrent workers and
@@ -121,7 +135,20 @@ func (s *sweeper) runAll(n int, fn func(i int)) {
 func (s *sweeper) mustRun(i int, label string, cfg config.Config, bench string) sim.Result {
 	opts := s.opts
 	opts.Telemetry = s.tele.Child(fmt.Sprintf("point.%d.%s", i, label))
-	res, err := sim.Run(cfg, bench, opts)
+	var res sim.Result
+	var err error
+	if s.ckptDir != "" {
+		spec := sim.CheckpointSpec{
+			Path:        filepath.Join(s.ckptDir, label+".ckpt"),
+			EveryCycles: s.every,
+		}
+		res, err = sim.RunOrResume(context.Background(), cfg, bench, opts, spec)
+		if err == nil {
+			os.Remove(spec.Path) // point complete; nothing left to resume
+		}
+	} else {
+		res, err = sim.Run(cfg, bench, opts)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "respin-sweep: %v\n", err)
 		os.Exit(1)

@@ -33,6 +33,7 @@ func run() int {
 		cli.WithTelemetryFlags(),
 		cli.WithFaultFlags(),
 		cli.WithEnduranceFlags(),
+		cli.WithCheckpointFlags(),
 	)
 	what := flag.String("what", "trace", "output: trace, histograms")
 	flag.Parse()
@@ -64,9 +65,27 @@ func run() int {
 	opts.EpochTrace = true
 	opts.Faults = fp
 
-	res, err := sim.Run(cfg, t.BenchName, opts)
-	if err != nil {
-		return fail(err)
+	var res sim.Result
+	if c.Resume != "" {
+		// Continue an interrupted trace run from its checkpoint; the CSV
+		// below comes out identical to an uninterrupted run's.
+		s, err := sim.Resume(c.Resume,
+			sim.WithTelemetry(c.Collector()),
+			sim.WithWorkers(c.Workers),
+			sim.WithCheckpoint(c.CheckpointSpec()))
+		if err != nil {
+			return fail(err)
+		}
+		res, err = s.Run()
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		opts.Checkpoint = c.CheckpointSpec()
+		res, err = sim.Run(cfg, t.BenchName, opts)
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	w := csv.NewWriter(os.Stdout)

@@ -231,3 +231,47 @@ func TestResolveMatchesCLISemantics(t *testing.T) {
 		t.Fatal("endurance enabled without a spec")
 	}
 }
+
+// TestWearOutRoundTrip: a StatusWearOut envelope — the recorded
+// outcome of an endurance run that exhausted an array — survives
+// encode → strict decode → encode byte-identically, with the status,
+// the diagnostic, and the partial result (lifetime report included)
+// intact. This is what lets the serve journal replay a wear-out after
+// a restart without re-running the simulation.
+func TestWearOutRoundTrip(t *testing.T) {
+	t.Parallel()
+	req := RunRequest{Config: "SH-STT", Bench: "fft", Quota: 30_000,
+		Endurance: &EnduranceSpec{Budget: 4, Sigma: 0.1}}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	doc := execute(t, req)
+	if doc.Status != StatusWearOut {
+		t.Fatalf("status = %q, want %q", doc.Status, StatusWearOut)
+	}
+	if !strings.Contains(doc.Detail, "end of life") {
+		t.Fatalf("detail %q lacks the wear-out diagnostic", doc.Detail)
+	}
+	if len(doc.Result) == 0 {
+		t.Fatal("wear-out envelope dropped the partial result")
+	}
+
+	first, err := EncodeBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeRunResult(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Status != StatusWearOut || decoded.Detail != doc.Detail {
+		t.Fatalf("decoded wear-out drifted: %q %q", decoded.Status, decoded.Detail)
+	}
+	second, err := EncodeBytes(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("round-tripped wear-out envelope is not byte-identical")
+	}
+}

@@ -73,6 +73,13 @@ type Common struct {
 	// Endurance is the STT wear/retention flag group (nil unless
 	// WithEnduranceFlags was given; a nil group disables the model).
 	Endurance *endurance.Flags
+	// Checkpoint, CheckpointEvery and Resume are the crash-recovery
+	// flags. Single-run tools treat -checkpoint/-resume as a file;
+	// multi-run tools (respin-sweep, respin-bench) treat them as a
+	// directory holding one checkpoint per run label.
+	Checkpoint      string
+	CheckpointEvery uint64
+	Resume          string
 
 	collector  *telemetry.Collector
 	eventsFile *os.File
@@ -89,6 +96,7 @@ const (
 	groupTelemetry
 	groupFaults
 	groupEndurance
+	groupCheckpoint
 	groupTarget
 )
 
@@ -147,6 +155,13 @@ func WithEnduranceFlags() Option {
 	return func(a *App) { a.groups |= groupEndurance }
 }
 
+// WithCheckpointFlags registers -checkpoint, -checkpoint-every and
+// -resume. Single-run tools interpret the paths as one checkpoint
+// file; pool tools interpret them as a directory keyed by run label.
+func WithCheckpointFlags() Option {
+	return func(a *App) { a.groups |= groupCheckpoint }
+}
+
 // WithTarget registers the selected target flags, with t's fields as
 // defaults.
 func WithTarget(t Target, which TargetFlags) Option {
@@ -192,6 +207,11 @@ func (a *App) register() {
 	}
 	if a.groups&groupFaults != 0 {
 		a.Faults = faults.BindTo(fs)
+	}
+	if a.groups&groupCheckpoint != 0 {
+		fs.StringVar(&a.Checkpoint, "checkpoint", "", "write periodic crash-recovery checkpoints to this path (file, or directory for sweep tools)")
+		fs.Uint64Var(&a.CheckpointEvery, "checkpoint-every", sim.DefaultCheckpointEvery, "cycles between checkpoint writes")
+		fs.StringVar(&a.Resume, "resume", "", "resume from this checkpoint path instead of starting at cycle 0")
 	}
 	if a.groups&groupEndurance != 0 {
 		a.Endurance = endurance.BindTo(fs)
@@ -341,6 +361,8 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 		r.Endurance = c.Endurance.Params(c.faultSeed())
 		r.Jobs = c.Jobs
 		r.Workers = c.Workers
+		r.CheckpointDir = c.CheckpointDir()
+		r.CheckpointEvery = c.CheckpointEvery
 		if !c.Quiet {
 			r.Progress = os.Stderr
 		}
@@ -350,6 +372,26 @@ func (c *Common) Apply(opts *sim.Options, r *experiments.Runner) error {
 		}
 	}
 	return nil
+}
+
+// CheckpointSpec returns the sim checkpoint spec the flags denote; a
+// zero spec (checkpointing off) when -checkpoint was not given.
+func (c *Common) CheckpointSpec() sim.CheckpointSpec {
+	if c.Checkpoint == "" {
+		return sim.CheckpointSpec{}
+	}
+	return sim.CheckpointSpec{Path: c.Checkpoint, EveryCycles: c.CheckpointEvery}
+}
+
+// CheckpointDir resolves the checkpoint directory for pool tools:
+// -checkpoint names it, and -resume is accepted as a synonym (a pool
+// tool's directory both writes checkpoints and resumes from them, so
+// the two flags mean the same thing there).
+func (c *Common) CheckpointDir() string {
+	if c.Checkpoint != "" {
+		return c.Checkpoint
+	}
+	return c.Resume
 }
 
 // FaultParams resolves the fault-injection flags for a chip with the

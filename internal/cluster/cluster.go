@@ -24,8 +24,8 @@ package cluster
 
 import (
 	"fmt"
-	"math/rand"
 
+	"respin/internal/rng"
 	"respin/internal/stats"
 
 	"respin/internal/coherence"
@@ -238,7 +238,7 @@ type Cluster struct {
 	// order at drain time.
 	pendingEvents []PendingEvent
 
-	rng *rand.Rand
+	rng *rng.Rand
 	// faults is this cluster's private fault-injector stream (a child of
 	// the chip-wide injector, nil when nothing is injected); wrFaults
 	// aliases it only for STT-RAM configs, gating the write-verify-retry
@@ -337,7 +337,7 @@ func New(p Params) *Cluster {
 		cfg:    p.Config,
 		chip:   p.Chip,
 		id:     p.ClusterID,
-		rng:    rand.New(rand.NewSource(p.Seed*31 + int64(p.ClusterID))),
+		rng:    rng.New(p.Seed*31 + int64(p.ClusterID)),
 		quota:  p.QuotaInstr,
 		pcores: make([]pcore, n),
 		vcores: make([]vcoreState, n),

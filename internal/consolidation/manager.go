@@ -167,6 +167,42 @@ func (g *Greedy) recordAndBackoff(count int) {
 	}
 }
 
+// GreedyState is the greedy search's mutable state, for checkpointing.
+type GreedyState struct {
+	Active     int
+	Direction  int
+	PrevEPI    float64
+	HavePrev   bool
+	HoldLeft   int
+	BackoffIdx int
+	LastCounts []int
+}
+
+// State captures the search position.
+func (g *Greedy) State() GreedyState {
+	return GreedyState{
+		Active:     g.active,
+		Direction:  g.direction,
+		PrevEPI:    g.prevEPI,
+		HavePrev:   g.havePrev,
+		HoldLeft:   g.holdLeft,
+		BackoffIdx: g.backoffIdx,
+		LastCounts: append([]int(nil), g.lastCounts...),
+	}
+}
+
+// Restore repositions a freshly built search (same params) to a captured
+// state.
+func (g *Greedy) Restore(st GreedyState) {
+	g.active = st.Active
+	g.direction = st.Direction
+	g.prevEPI = st.PrevEPI
+	g.havePrev = st.HavePrev
+	g.holdLeft = st.HoldLeft
+	g.backoffIdx = st.BackoffIdx
+	g.lastCounts = append(g.lastCounts[:0], st.LastCounts...)
+}
+
 // relDiff returns (a-b)/b, or 0 when either value is unusable (a
 // zero-instruction or unmeasured epoch must not steer the search).
 func relDiff(a, b float64) float64 {

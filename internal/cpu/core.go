@@ -304,6 +304,66 @@ func (c *Core) run(alreadyIssued int) int {
 // FetchInFlight reports whether an instruction fetch is outstanding.
 func (c *Core) FetchInFlight() bool { return c.fetchOutstanding }
 
+// CoreState is the core's full architectural + microarchitectural state,
+// for checkpointing. The workload generator's position travels with it
+// (the generator is the core's program counter, in effect).
+type CoreState struct {
+	State       State
+	IssueCredit float64
+
+	Gap         uint64
+	Pending     trace.Event
+	HavePending bool
+
+	InstrToFetch     int
+	FetchOutstanding bool
+	FetchWanted      bool
+
+	Retired    uint64
+	Stalls     uint64
+	LoadCount  uint64
+	StoreCount uint64
+
+	Gen trace.GenState
+}
+
+// Snapshot captures the core's state.
+func (c *Core) Snapshot() CoreState {
+	return CoreState{
+		State:            c.state,
+		IssueCredit:      c.issueCredit,
+		Gap:              c.gap,
+		Pending:          c.pending,
+		HavePending:      c.havePending,
+		InstrToFetch:     c.instrToFetch,
+		FetchOutstanding: c.fetchOutstanding,
+		FetchWanted:      c.fetchWanted,
+		Retired:          c.retired,
+		Stalls:           c.stalls,
+		LoadCount:        c.loadCount,
+		StoreCount:       c.storeCount,
+		Gen:              c.gen.State(),
+	}
+}
+
+// Restore repositions a freshly built core (same generator inputs) to a
+// captured state.
+func (c *Core) Restore(st CoreState) {
+	c.state = st.State
+	c.issueCredit = st.IssueCredit
+	c.gap = st.Gap
+	c.pending = st.Pending
+	c.havePending = st.HavePending
+	c.instrToFetch = st.InstrToFetch
+	c.fetchOutstanding = st.FetchOutstanding
+	c.fetchWanted = st.FetchWanted
+	c.retired = st.Retired
+	c.stalls = st.Stalls
+	c.loadCount = st.LoadCount
+	c.storeCount = st.StoreCount
+	c.gen.Restore(st.Gen)
+}
+
 // SkipStalls accounts n clock edges of a fast-forwarded idle window as
 // stall cycles. The hosting cluster may only use it while the core is
 // blocked on an outstanding memory operation, where Step would do

@@ -450,6 +450,116 @@ func (a *Array) RetiredWays() int {
 	return a.retiredWays
 }
 
+// ArrayState is one array's mutable wear/retention state, for
+// checkpointing. Budgets ("initial") are construction-derived — NewArray
+// resamples them identically from (seed, salt) — so only the consumed
+// state needs capturing.
+type ArrayState struct {
+	Remaining []uint64
+	Retired   []bool
+	Wear      []uint64
+	Writes    uint64
+
+	RetiredWays  int
+	RetireLosses uint64
+	RetireDirty  uint64
+
+	Scrubs          uint64
+	ScrubRefreshes  uint64
+	RetentionLosses uint64
+	RetentionDirty  uint64
+	NextScrub       uint64
+
+	Rotations      uint64
+	RotationFlush  uint64
+	WritesSinceRot uint64
+
+	Exhausted *WearOutError
+}
+
+// TrackerState is the chip-level endurance state: one ArrayState per
+// registered array, in registration order (which the simulator fixes).
+type TrackerState struct {
+	Cycles uint64
+	Arrays []ArrayState
+}
+
+// State captures the tracker's mutable state (zero value for nil).
+func (t *Tracker) State() TrackerState {
+	if t == nil {
+		return TrackerState{}
+	}
+	st := TrackerState{Cycles: t.cycles}
+	for _, a := range t.arrays {
+		as := ArrayState{
+			Remaining:       append([]uint64(nil), a.remaining...),
+			Retired:         append([]bool(nil), a.retired...),
+			Wear:            append([]uint64(nil), a.wear...),
+			Writes:          a.writes,
+			RetiredWays:     a.retiredWays,
+			RetireLosses:    a.retireLosses,
+			RetireDirty:     a.retireDirty,
+			Scrubs:          a.scrubs,
+			ScrubRefreshes:  a.scrubRefreshes,
+			RetentionLosses: a.retentionLosses,
+			RetentionDirty:  a.retentionDirty,
+			NextScrub:       a.nextScrub,
+			Rotations:       a.rotations,
+			RotationFlush:   a.rotationFlush,
+			WritesSinceRot:  a.writesSinceRot,
+		}
+		if a.exhausted != nil {
+			e := *a.exhausted
+			as.Exhausted = &e
+		}
+		st.Arrays = append(st.Arrays, as)
+	}
+	return st
+}
+
+// RestoreState repositions a freshly built tracker (same Params, same
+// NewArray sequence) to a captured state. A nil receiver accepts only
+// the zero state.
+func (t *Tracker) RestoreState(st TrackerState) error {
+	if t == nil {
+		if len(st.Arrays) > 0 {
+			return fmt.Errorf("endurance: restoring %d arrays into a nil tracker", len(st.Arrays))
+		}
+		return nil
+	}
+	if len(st.Arrays) != len(t.arrays) {
+		return fmt.Errorf("endurance: restore has %d arrays, tracker has %d", len(st.Arrays), len(t.arrays))
+	}
+	t.cycles = st.Cycles
+	for i, a := range t.arrays {
+		as := st.Arrays[i]
+		if len(as.Remaining) != len(a.remaining) || len(as.Wear) != len(a.wear) {
+			return fmt.Errorf("endurance: array %q geometry mismatch on restore", a.label)
+		}
+		copy(a.remaining, as.Remaining)
+		copy(a.retired, as.Retired)
+		copy(a.wear, as.Wear)
+		a.writes = as.Writes
+		a.retiredWays = as.RetiredWays
+		a.retireLosses = as.RetireLosses
+		a.retireDirty = as.RetireDirty
+		a.scrubs = as.Scrubs
+		a.scrubRefreshes = as.ScrubRefreshes
+		a.retentionLosses = as.RetentionLosses
+		a.retentionDirty = as.RetentionDirty
+		a.nextScrub = as.NextScrub
+		a.rotations = as.Rotations
+		a.rotationFlush = as.RotationFlush
+		a.writesSinceRot = as.WritesSinceRot
+		a.exhausted = nil
+		if as.Exhausted != nil {
+			e := *as.Exhausted
+			a.exhausted = &e
+		}
+	}
+	return nil
+}
+
 // maxWearFrac returns the largest consumed fraction of any way's
 // budget (1 for a retired way), or 0 when wear tracking is off.
 func (a *Array) maxWearFrac() float64 {

@@ -16,7 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -66,6 +69,17 @@ type Runner struct {
 	// parallelism — useful when the run set is narrow (few jobs to fill
 	// the machine) but each simulation is wide.
 	Workers int
+	// CheckpointDir, when non-empty, gives every simulation the runner
+	// executes a crash-recovery checkpoint file under this directory,
+	// keyed by run label: an interrupted evaluation re-invoked over the
+	// same directory resumes each unfinished run from its last
+	// epoch-boundary checkpoint (bit-identical to an uninterrupted run)
+	// instead of starting it over. Completed runs remove their file, so
+	// a finished evaluation leaves the directory empty.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in cycles; zero selects
+	// sim.DefaultCheckpointEvery.
+	CheckpointEvery uint64
 	// Telemetry, when non-nil, receives runner-level metrics
 	// (runs started/completed, singleflight cache hits), one
 	// run.progress event per completed simulation, and — absorbed under
@@ -199,6 +213,11 @@ func (r *Runner) Normalize() error {
 	}
 	if r.FaultSeed == 0 {
 		r.FaultSeed = 1
+	}
+	if r.CheckpointDir != "" {
+		if err := os.MkdirAll(r.CheckpointDir, 0o755); err != nil {
+			return fmt.Errorf("experiments: checkpoint dir: %w", err)
+		}
 	}
 	if len(r.Benches) == 0 {
 		r.Benches = trace.Names()
@@ -361,6 +380,26 @@ func (r *Runner) Do(ctx context.Context, key, label string, cfg config.Config, b
 	})
 }
 
+// DoFunc is Do for executions the caller supplies itself — the serve
+// journal uses it to resume a simulation from a checkpoint instead of
+// starting fresh. It shares Do's contract exactly: singleflight on key,
+// a worker-pool slot for the leader, panics recovered into attributed
+// errors, and no caching of non-recorded outcomes. fn runs under ctx.
+func (r *Runner) DoFunc(ctx context.Context, key, label string, fn func(context.Context) (sim.Result, error)) (sim.Result, error) {
+	return r.do(ctx, key, func() (res sim.Result, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("experiments: panic during %s: %v", label, p)
+			}
+		}()
+		res, err = fn(ctx)
+		if err == nil {
+			r.progressf("ran %-40s: %8d kcycles, %s\n", label, res.Cycles/1000, fmtEnergy(res.EnergyPJ))
+		}
+		return res, err
+	})
+}
+
 // CacheHits reports how many requests were served by joining or
 // recalling an existing flight instead of starting a simulation.
 func (r *Runner) CacheHits() uint64 { return r.cacheHits.Load() }
@@ -463,11 +502,55 @@ func (r *Runner) runLabeled(label string, cfg config.Config, bench string, opts 
 			telemetry.WithScope(label),
 		)
 	}
-	res, err := sim.RunContext(r.ctx(), cfg, bench, opts)
+	run := func() (sim.Result, error) { return sim.RunContext(r.ctx(), cfg, bench, opts) }
+	if spec := r.checkpointSpec(label); spec.Enabled() {
+		run = func() (sim.Result, error) {
+			res, err := sim.RunOrResume(r.ctx(), cfg, bench, opts, spec)
+			// Recorded outcomes retire their checkpoint: the result is
+			// final, so a later invocation must not resume from it.
+			var wear *endurance.WearOutError
+			if err == nil || errors.As(err, &wear) {
+				os.Remove(spec.Path)
+			}
+			return res, err
+		}
+	}
+	res, err := run()
 	if err == nil && r.Telemetry.Enabled() {
 		r.Telemetry.Absorb("run."+label, res.Metrics)
 	}
 	return res, err
+}
+
+// checkpointSpec resolves the per-label crash-recovery checkpoint spec;
+// the zero spec (checkpointing off) when the runner has no checkpoint
+// directory.
+func (r *Runner) checkpointSpec(label string) sim.CheckpointSpec {
+	if r.CheckpointDir == "" {
+		return sim.CheckpointSpec{}
+	}
+	every := r.CheckpointEvery
+	if every == 0 {
+		every = sim.DefaultCheckpointEvery
+	}
+	return sim.CheckpointSpec{
+		Path:        filepath.Join(r.CheckpointDir, ckptName(label)),
+		EveryCycles: every,
+	}
+}
+
+// ckptName maps a run label to its checkpoint file name, replacing
+// anything a filesystem might object to.
+func ckptName(label string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.' || r == '-' || r == '_':
+			return r
+		}
+		return '_'
+	}, label)
+	return safe + ".ckpt"
 }
 
 // medium is shorthand for the default configuration point.

@@ -35,10 +35,10 @@ package faults
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"respin/internal/reliability"
+	"respin/internal/rng"
 	"respin/internal/telemetry"
 )
 
@@ -195,8 +195,8 @@ func (c Counts) Any() bool { return c != Counts{} }
 // telemetry counters aggregate over the whole tree.
 type Injector struct {
 	p    Params
-	stt  *rand.Rand
-	sram *rand.Rand
+	stt  *rng.Rand
+	sram *rng.Rand
 	// noFlip is (1-p)^wordLen, the probability a whole protected word
 	// reads clean — precomputed so the common case costs one draw.
 	noFlip  float64
@@ -218,8 +218,8 @@ func New(p Params) *Injector {
 	p = p.withDefaults()
 	in := &Injector{
 		p:       p,
-		stt:     rand.New(rand.NewSource(p.Seed*61 + sttStreamSalt)),
-		sram:    rand.New(rand.NewSource(p.Seed*67 + sramStreamSalt)),
+		stt:     rng.New(p.Seed*61 + sttStreamSalt),
+		sram:    rng.New(p.Seed*67 + sramStreamSalt),
 		wordLen: 64 + p.ECC.CheckBits(),
 	}
 	if p.SRAMBitFlipPerCell > 0 {
@@ -246,8 +246,8 @@ func (in *Injector) Derive(salt int64) *Injector {
 		p: in.p,
 		// Distinct large odd multipliers keep sibling streams (and the
 		// root's) from colliding for any (seed, salt) pair in practice.
-		stt:     rand.New(rand.NewSource(in.p.Seed*61 + sttStreamSalt + (salt+1)*1_000_003)),
-		sram:    rand.New(rand.NewSource(in.p.Seed*67 + sramStreamSalt + (salt+1)*7_368_787)),
+		stt:     rng.New(in.p.Seed*61 + sttStreamSalt + (salt+1)*1_000_003),
+		sram:    rng.New(in.p.Seed*67 + sramStreamSalt + (salt+1)*7_368_787),
 		noFlip:  in.noFlip,
 		wordLen: in.wordLen,
 	}
@@ -452,6 +452,68 @@ func (in *Injector) AttachTelemetry(c *telemetry.Collector) {
 // value for a nil injector).
 func (in *Injector) Snapshot() Counts {
 	return in.aggregate()
+}
+
+// StreamState is one RNG stream's checkpoint position.
+type StreamState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// InjectorState is the mutable state of an injector tree, for
+// checkpointing. Rates, ECC geometry and derived probabilities are
+// construction inputs; only stream positions, undelivered kills and the
+// event counts need capturing. Children appear in Derive order, which
+// the simulator fixes (one child per cluster, in cluster-id order).
+type InjectorState struct {
+	STT, SRAM StreamState
+	Kills     []KillSpec
+	Counts    Counts
+	Children  []InjectorState
+}
+
+// State captures the injector tree's mutable state (zero value for nil).
+func (in *Injector) State() InjectorState {
+	if in == nil {
+		return InjectorState{}
+	}
+	sttSeed, sttDraws := in.stt.State()
+	sramSeed, sramDraws := in.sram.State()
+	st := InjectorState{
+		STT:    StreamState{sttSeed, sttDraws},
+		SRAM:   StreamState{sramSeed, sramDraws},
+		Kills:  append([]KillSpec(nil), in.kills...),
+		Counts: in.Counts,
+	}
+	for _, ch := range in.children {
+		st.Children = append(st.Children, ch.State())
+	}
+	return st
+}
+
+// RestoreState repositions a freshly built injector tree (same Params,
+// same Derive sequence) to a captured state. A nil receiver accepts
+// only the zero state.
+func (in *Injector) RestoreState(st InjectorState) error {
+	if in == nil {
+		if len(st.Children) > 0 || len(st.Kills) > 0 || st.Counts.Any() {
+			return fmt.Errorf("faults: restoring non-trivial state into a nil injector")
+		}
+		return nil
+	}
+	if len(st.Children) != len(in.children) {
+		return fmt.Errorf("faults: restore has %d children, injector has %d", len(st.Children), len(in.children))
+	}
+	in.stt.Restore(st.STT.Seed, st.STT.Draws)
+	in.sram.Restore(st.SRAM.Seed, st.SRAM.Draws)
+	in.kills = append(in.kills[:0], st.Kills...)
+	in.Counts = st.Counts
+	for i, ch := range in.children {
+		if err := ch.RestoreState(st.Children[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // KillFirstN builds a kill schedule that kills cores 0..n-1 of every

@@ -528,6 +528,50 @@ func (c *Cache) LiveCapacity() int {
 	return len(c.state) - c.endur.RetiredWays()
 }
 
+// CacheState is the array's full mutable state, for checkpointing.
+// Geometry, the set-index magic and attached models are construction
+// inputs; the SoA columns, clocks, rotation offset and stats are the
+// state. The attached endurance array is snapshotted separately by its
+// own package (registration order is deterministic).
+type CacheState struct {
+	Tags, Used, Written []uint64
+	LineStates          []LineState
+	Tick, Now, Rotation uint64
+	Stats               Stats
+}
+
+// Snapshot captures the array's mutable state.
+func (c *Cache) Snapshot() CacheState {
+	return CacheState{
+		Tags:       append([]uint64(nil), c.tags...),
+		Used:       append([]uint64(nil), c.used...),
+		Written:    append([]uint64(nil), c.written...),
+		LineStates: append([]LineState(nil), c.state...),
+		Tick:       c.tick,
+		Now:        c.now,
+		Rotation:   c.rotation,
+		Stats:      c.Stats,
+	}
+}
+
+// Restore repositions a freshly built array of identical geometry to a
+// captured state. The columns are copied into the existing backing (the
+// three uint64 columns share one flat allocation that must stay intact).
+func (c *Cache) Restore(st CacheState) error {
+	if len(st.Tags) != len(c.tags) || len(st.LineStates) != len(c.state) {
+		return fmt.Errorf("mem: restore has %d ways, cache has %d", len(st.Tags), len(c.tags))
+	}
+	copy(c.tags, st.Tags)
+	copy(c.used, st.Used)
+	copy(c.written, st.Written)
+	copy(c.state, st.LineStates)
+	c.tick = st.Tick
+	c.now = st.Now
+	c.rotation = st.Rotation
+	c.Stats = st.Stats
+	return nil
+}
+
 // Scrub performs one background retention scrub pass at cycle now:
 // every valid line is inspected, lines whose deadline already passed
 // are reaped as retention losses, and lines that would expire before

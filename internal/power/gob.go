@@ -1,0 +1,31 @@
+// Checkpoint support: Meter keeps its per-component accumulator
+// unexported, so it implements gob's interfaces explicitly. The exact
+// float64 accumulators are transmitted, keeping restored energy
+// accounting bit-identical.
+package power
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type meterWire struct {
+	PJ [numComponents]float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m Meter) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(meterWire{m.pj})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Meter) GobDecode(data []byte) error {
+	var w meterWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.pj = w.PJ
+	return nil
+}

@@ -1,0 +1,73 @@
+// Package rng wraps math/rand with a draw-counting source so a stream's
+// position can be captured and restored exactly. The simulator's
+// determinism story ("a pure function of seed and event order") extends
+// to checkpoint/restore through this package: a stream's state is just
+// (seed, draws), and restoring replays the raw source that many steps.
+//
+// Counting happens at the rand.Source64 layer, below the distribution
+// methods. That makes the count robust against rejection sampling:
+// ExpFloat64, Int63n and friends may consume a variable number of raw
+// draws per call, but every one of them passes through Uint64/Int63
+// exactly once per source step, so replaying N raw steps lands the
+// stream in a bit-identical position regardless of which distribution
+// methods produced the draws.
+package rng
+
+import "math/rand"
+
+// source counts raw draws from the wrapped rand.Source64.
+type source struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+func (s *source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *source) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// Rand is a math/rand.Rand over a counting source. The embedded *rand.Rand
+// exposes the full distribution API, so call sites are unchanged.
+type Rand struct {
+	*rand.Rand
+	cs *source
+}
+
+// New returns a counting generator seeded with seed. It is the drop-in
+// replacement for rand.New(rand.NewSource(seed)).
+func New(seed int64) *Rand {
+	cs := &source{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+	return &Rand{Rand: rand.New(cs), cs: cs}
+}
+
+// State returns the stream identity: its seed and how many raw source
+// steps have been consumed.
+func (r *Rand) State() (seed int64, draws uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.cs.seed, r.cs.draws
+}
+
+// Restore repositions the stream to (seed, draws): reseed, then step the
+// raw source forward. Restoring is O(draws); simulator streams draw at
+// most a few per event, so this is far below the cost of re-simulating.
+func (r *Rand) Restore(seed int64, draws uint64) {
+	r.cs.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		r.cs.src.Uint64()
+	}
+	r.cs.draws = draws
+}

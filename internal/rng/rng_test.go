@@ -1,0 +1,82 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatchesMathRand checks the counting wrapper is draw-for-draw
+// identical to a plain math/rand generator with the same seed.
+func TestMatchesMathRand(t *testing.T) {
+	ref := rand.New(rand.NewSource(42))
+	r := New(42)
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0:
+			if got, want := r.Float64(), ref.Float64(); got != want {
+				t.Fatalf("draw %d: Float64 = %v, want %v", i, got, want)
+			}
+		case 1:
+			if got, want := r.ExpFloat64(), ref.ExpFloat64(); got != want {
+				t.Fatalf("draw %d: ExpFloat64 = %v, want %v", i, got, want)
+			}
+		case 2:
+			if got, want := r.Int63n(97), ref.Int63n(97); got != want {
+				t.Fatalf("draw %d: Int63n = %v, want %v", i, got, want)
+			}
+		case 3:
+			if got, want := r.Intn(1<<20), ref.Intn(1<<20); got != want {
+				t.Fatalf("draw %d: Intn = %v, want %v", i, got, want)
+			}
+		case 4:
+			if got, want := r.NormFloat64(), ref.NormFloat64(); got != want {
+				t.Fatalf("draw %d: NormFloat64 = %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestStateRestore captures a stream mid-sequence and checks a restored
+// stream continues bit-identically.
+func TestStateRestore(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 137; i++ {
+		r.ExpFloat64()
+		r.Int63n(1000)
+	}
+	seed, draws := r.State()
+	if seed != 7 {
+		t.Fatalf("seed = %d, want 7", seed)
+	}
+	if draws == 0 {
+		t.Fatal("draws = 0 after 274 calls")
+	}
+
+	var want []float64
+	for i := 0; i < 500; i++ {
+		want = append(want, r.Float64(), r.ExpFloat64(), float64(r.Int63n(12345)))
+	}
+
+	fresh := New(999) // deliberately wrong seed, Restore must fix it
+	fresh.Float64()
+	fresh.Restore(seed, draws)
+	if s2, d2 := fresh.State(); s2 != seed || d2 != draws {
+		t.Fatalf("State after Restore = (%d, %d), want (%d, %d)", s2, d2, seed, draws)
+	}
+	for i := 0; i < 500; i++ {
+		got := []float64{fresh.Float64(), fresh.ExpFloat64(), float64(fresh.Int63n(12345))}
+		for j, g := range got {
+			if g != want[3*i+j] {
+				t.Fatalf("sample %d/%d after restore = %v, want %v", i, j, g, want[3*i+j])
+			}
+		}
+	}
+}
+
+// TestNilState checks the nil receiver returns the zero state.
+func TestNilState(t *testing.T) {
+	var r *Rand
+	if s, d := r.State(); s != 0 || d != 0 {
+		t.Fatalf("nil State = (%d, %d), want (0, 0)", s, d)
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+// The client side of GET /v1/runs/{id}/events: live-follow a run's
+// telemetry stream with automatic reconnect. The server replays the
+// whole buffered log on every connection, so the client's only state
+// is how many events it has already delivered — on reconnect it skips
+// that prefix and continues, which makes a dropped connection (server
+// restart, proxy timeout, flaky link) invisible to the consumer: each
+// event is delivered exactly once, in order. Reconnects are paced by a
+// retry.Policy (bounded exponential backoff, full jitter) so a fleet
+// of followers does not stampede a recovering server.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"respin/internal/retry"
+)
+
+// FollowEvents streams run id's telemetry events from the server at
+// baseURL to w, one JSON event per line (the original JSONL bytes),
+// until the run completes. Transport failures reconnect under pol;
+// a 404 (unknown or evicted run) is permanent. Returns how many events
+// were delivered.
+func FollowEvents(ctx context.Context, cl *http.Client, baseURL, id string, w io.Writer, pol retry.Policy) (int, error) {
+	if cl == nil {
+		cl = http.DefaultClient
+	}
+	seen := 0
+	err := retry.Do(ctx, pol, func() error {
+		req, err := http.NewRequestWithContext(ctx, "GET", baseURL+"/v1/runs/"+id+"/events", nil)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		resp, err := cl.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			return retry.Permanent(fmt.Errorf("serve: follow: unknown run %q", id))
+		case resp.StatusCode != http.StatusOK:
+			return fmt.Errorf("serve: follow %q: status %d", id, resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+		streamed := 0 // data lines on this connection, replayed prefix included
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "event: done" {
+				return nil
+			}
+			payload, ok := strings.CutPrefix(line, "data: ")
+			if !ok || payload == "{}" {
+				continue
+			}
+			streamed++
+			if streamed <= seen {
+				continue // already delivered before the reconnect
+			}
+			if _, err := io.WriteString(w, payload+"\n"); err != nil {
+				return retry.Permanent(err)
+			}
+			seen++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return errors.New("serve: follow: stream ended without done")
+	})
+	return seen, err
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"respin/internal/retry"
+)
+
+// noDelay is a retry policy whose sleeps are instant (the fake clock of
+// these tests) — reconnect behavior is exercised, wall time is not.
+var noDelay = retry.Policy{
+	Attempts: 4,
+	Sleep:    func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+	Rand:     func() float64 { return 0 },
+}
+
+// flakyEvents serves an SSE run log that dies mid-stream on the first
+// attempt and completes on later ones.
+func flakyEvents(t *testing.T, events []string, dropAfter int) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var attempts atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/runs/r1/events" {
+			http.NotFound(w, r)
+			return
+		}
+		n := attempts.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i, ev := range events {
+			if n == 1 && i == dropAfter {
+				// Kill the connection mid-stream: a panic with
+				// http.ErrAbortHandler aborts without a response tail.
+				panic(http.ErrAbortHandler)
+			}
+			fmt.Fprintf(w, "data: %s\n\n", ev)
+		}
+		fmt.Fprintf(w, "event: done\ndata: {}\n\n")
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, &attempts
+}
+
+func TestFollowEventsReconnects(t *testing.T) {
+	events := []string{
+		`{"seq":0,"name":"run.start"}`,
+		`{"seq":1,"name":"epoch"}`,
+		`{"seq":2,"name":"epoch"}`,
+		`{"seq":3,"name":"run.end"}`,
+	}
+	ts, attempts := flakyEvents(t, events, 2)
+
+	var buf bytes.Buffer
+	n, err := FollowEvents(context.Background(), ts.Client(), ts.URL, "r1", &buf, noDelay)
+	if err != nil {
+		t.Fatalf("FollowEvents: %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("delivered %d events, want %d", n, len(events))
+	}
+	if got, want := buf.String(), strings.Join(events, "\n")+"\n"; got != want {
+		t.Fatalf("stream mangled across reconnect:\ngot  %q\nwant %q", got, want)
+	}
+	if a := attempts.Load(); a != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (drop + reconnect)", a)
+	}
+}
+
+func TestFollowEventsUnknownRunIsPermanent(t *testing.T) {
+	ts, attempts := flakyEvents(t, nil, -1)
+	var buf bytes.Buffer
+	_, err := FollowEvents(context.Background(), ts.Client(), ts.URL, "nope", &buf, noDelay)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("FollowEvents = %v, want unknown-run error", err)
+	}
+	if a := attempts.Load(); a != 0 {
+		t.Fatalf("404 was retried against the run endpoint (%d attempts)", a)
+	}
+}
+
+// TestFollowEventsLive follows a real served run end to end.
+func TestFollowEventsLive(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	body := `{"schema_version":"respin/v1","config":"SH-STT","bench":"fft","quota":2000}`
+	resp, data := postRun(t, ts, body, map[string]string{"Respin-Run-Id": "follow-live"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", resp.StatusCode, data)
+	}
+	var buf bytes.Buffer
+	n, err := FollowEvents(context.Background(), nil, ts.URL, "follow-live", &buf, noDelay)
+	if err != nil {
+		t.Fatalf("FollowEvents: %v", err)
+	}
+	if n == 0 || buf.Len() == 0 {
+		t.Fatal("live follow delivered no events")
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			t.Fatalf("non-JSON event line %q", line)
+		}
+	}
+}

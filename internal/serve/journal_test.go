@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	v1 "respin/internal/api/v1"
+	"respin/internal/experiments"
+	"respin/internal/sim"
+)
+
+// TestJournalServesCommittedAcrossRestart: a completed run's response
+// is rehydrated from the journal by a fresh process and served
+// byte-identically without re-executing the simulation.
+func TestJournalServesCommittedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"schema_version":"respin/v1","config":"SH-STT","bench":"fft","quota":2000}`
+
+	_, ts1 := testServer(t, Options{Runner: &experiments.Runner{Quota: 2_000, Seed: 1}, Journal: dir})
+	resp, first := postRun(t, ts1, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", resp.StatusCode, first)
+	}
+
+	// "Restart": a new server + runner over the same journal directory.
+	r2 := &experiments.Runner{Quota: 2_000, Seed: 1}
+	_, ts2 := testServer(t, Options{Runner: r2, Journal: dir})
+	resp, second := postRun(t, ts2, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed run: status %d: %s", resp.StatusCode, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("journal-replayed response differs from the original (%d vs %d bytes)", len(first), len(second))
+	}
+	if started := r2.RunsStarted(); started != 0 {
+		t.Fatalf("restarted server re-executed %d runs for a journaled result", started)
+	}
+}
+
+// TestJournalResumesInterruptedRun reconstructs the crash state a
+// SIGKILL leaves behind — a journaled request plus a mid-run
+// checkpoint, no result — and verifies a fresh server recovers it in
+// the background, converging to the exact bytes an uninterrupted serve
+// would have produced.
+func TestJournalResumesInterruptedRun(t *testing.T) {
+	dir := t.TempDir()
+	req := v1.RunRequest{Config: "SH-STT", Bench: "radix", Quota: 12_000}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := cliBytes(t, req)
+
+	// Fabricate the interrupted state: WAL entry + a checkpoint from a
+	// run cut off after cycle 2000.
+	j, pending, err := openJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending runs", len(pending))
+	}
+	key := req.Key()
+	if err := j.logRequest(key, req); err != nil {
+		t.Fatal(err)
+	}
+	cfg, opts, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = sim.CheckpointSpec{Path: j.ckptPath(key), AtCycle: 2_000}
+	if _, err := sim.Run(cfg, req.Bench, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// A server opened over this journal recovers the run in the
+	// background (resuming from the checkpoint, not from cycle 0).
+	r := &experiments.Runner{Quota: 2_000, Seed: 1}
+	s, err := New(Options{Runner: r, Journal: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ok := s.journal.lookup(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interrupted run was not recovered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	doc, _ := s.journal.lookup(key)
+	got, err := v1.EncodeBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered result differs from an uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+	if started := r.RunsStarted(); started != 1 {
+		t.Fatalf("recovery started %d runs, want 1", started)
+	}
+}
+
+// TestWearOutRoundTripsThroughJournal: a wear-out is a recorded
+// outcome; its StatusWearOut envelope must survive a restart and be
+// served from the journal without re-running the simulation.
+func TestWearOutRoundTripsThroughJournal(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"schema_version":"respin/v1","config":"SH-STT","bench":"fft","quota":30000,
+		"endurance":{"budget":4,"sigma":0.1}}`
+
+	_, ts1 := testServer(t, Options{Runner: &experiments.Runner{Quota: 2_000, Seed: 1}, Journal: dir})
+	resp, first := postRun(t, ts1, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wear-out run: status %d: %s", resp.StatusCode, first)
+	}
+	var doc v1.RunResult
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != v1.StatusWearOut || doc.Detail == "" {
+		t.Fatalf("status = %q (%q), want wear-out with a diagnostic", doc.Status, doc.Detail)
+	}
+
+	r2 := &experiments.Runner{Quota: 2_000, Seed: 1}
+	_, ts2 := testServer(t, Options{Runner: r2, Journal: dir})
+	resp, second := postRun(t, ts2, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed wear-out: status %d: %s", resp.StatusCode, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("replayed wear-out envelope differs from the original")
+	}
+	if started := r2.RunsStarted(); started != 0 {
+		t.Fatalf("restarted server re-ran a recorded wear-out (%d runs)", started)
+	}
+}
+
+// TestRetryAfterSeconds pins the 429 hint's shape: never below 1s,
+// jittered across a window that widens with queue depth and caps at
+// 30s.
+func TestRetryAfterSeconds(t *testing.T) {
+	lo := func() float64 { return 0 }
+	hi := func() float64 { return 0.999 }
+	if got := retryAfterSeconds(0, lo); got != 1 {
+		t.Fatalf("empty queue, r=0: %d, want 1", got)
+	}
+	if got := retryAfterSeconds(0, hi); got != 1 {
+		t.Fatalf("empty queue, r->1: %d, want 1 (window is 1s)", got)
+	}
+	if got := retryAfterSeconds(40, hi); got != 11 {
+		t.Fatalf("depth 40, r->1: %d, want 11", got)
+	}
+	if got := retryAfterSeconds(1_000_000, hi); got != 30 {
+		t.Fatalf("huge depth, r->1: %d, want the 30s cap", got)
+	}
+	// Jitter actually spreads the hint across the window.
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		r := float64(i) / 10
+		seen[retryAfterSeconds(100, func() float64 { return r })] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("hints not spread by jitter: %v", seen)
+	}
+}

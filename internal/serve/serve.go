@@ -33,14 +33,17 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	v1 "respin/internal/api/v1"
 	"respin/internal/experiments"
+	"respin/internal/sim"
 	"respin/internal/telemetry"
 )
 
@@ -64,16 +67,26 @@ type Options struct {
 	// LogCapacity bounds how many run event logs are kept for
 	// /v1/runs/{id}/events replay; 0 selects 128.
 	LogCapacity int
+	// Journal, when non-empty, is the directory of the crash-safe run
+	// journal: accepted requests are journaled before execution,
+	// long runs checkpoint periodically, and on restart completed runs
+	// are served from disk while interrupted ones resume from their
+	// last checkpoint (see journal.go).
+	Journal string
+	// JournalCheckpointCycles is the checkpoint cadence (simulated
+	// cycles) for journaled runs; 0 selects 20000.
+	JournalCheckpointCycles uint64
 }
 
 // Server is the /v1 evaluation service. Create with New, expose with
 // Handler, stop by draining (BeginDrain + http.Server.Shutdown).
 type Server struct {
-	runner *experiments.Runner
-	base   context.Context
-	tele   *telemetry.Collector
-	logs   *logRegistry
-	mux    *http.ServeMux
+	runner  *experiments.Runner
+	base    context.Context
+	tele    *telemetry.Collector
+	logs    *logRegistry
+	mux     *http.ServeMux
+	journal *journal
 
 	tokens   chan struct{}
 	draining atomic.Bool
@@ -82,6 +95,9 @@ type Server struct {
 	httpRejected atomic.Uint64
 	httpPanics   atomic.Uint64
 	sseStreams   atomic.Uint64
+
+	journalHits      atomic.Uint64
+	journalRecovered atomic.Uint64
 }
 
 // New builds the service around a persistent runner.
@@ -132,7 +148,34 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+
+	if opts.Journal != "" {
+		jr, pending, err := openJournal(opts.Journal, opts.JournalCheckpointCycles)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jr
+		tele.RegisterCounter("journal.hits", s.journalHits.Load)
+		tele.RegisterCounter("journal.recovered", s.journalRecovered.Load)
+		tele.RegisterGauge("journal.completed", func() float64 { return float64(jr.completed()) })
+		for _, req := range pending {
+			go s.recoverRun(req)
+		}
+	}
 	return s, nil
+}
+
+// recoverRun re-executes one journaled request that a previous process
+// left unfinished. It runs through the same execute path a re-POSTed
+// request would take — resuming from the journal checkpoint and
+// joining the runner's singleflight — so a client retrying the request
+// shares the recovery flight instead of racing it.
+func (s *Server) recoverRun(req v1.RunRequest) {
+	ctx, cancel := s.runCtx(req)
+	defer cancel()
+	if _, err := s.execute(ctx, req, nil); err == nil {
+		s.journalRecovered.Add(1)
+	}
 }
 
 // Handler returns the service's HTTP handler: the /v1 mux behind the
@@ -185,12 +228,28 @@ func (s *Server) admitOrReject(w http.ResponseWriter) bool {
 	}
 	if !s.admit() {
 		s.httpRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		secs := retryAfterSeconds(len(s.tokens), rand.Float64)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		s.writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("serve: admission queue full (%d in flight)", cap(s.tokens)))
 		return false
 	}
 	return true
+}
+
+// retryAfterSeconds computes the 429 Retry-After hint. A constant hint
+// re-synchronizes every rejected client into a retry stampede at the
+// same instant; instead the hint is full-jittered — uniform over a
+// window that widens with the queue depth (capped at 30s) — so a
+// deeper backlog both tells clients to wait longer on average and
+// spreads their retries across the window. r is the uniform [0,1)
+// source (injectable for the unit test).
+func retryAfterSeconds(depth int, r func() float64) int {
+	window := 1 + depth/4
+	if window > 30 {
+		window = 30
+	}
+	return 1 + int(r()*float64(window))
 }
 
 // runCtx derives the context one request's simulation runs under: the
@@ -219,8 +278,37 @@ func (s *Server) execute(ctx context.Context, req v1.RunRequest, log *runLog) (v
 	} else {
 		opts.Telemetry = telemetry.New()
 	}
-	res, runErr := s.runner.Do(ctx, req.Key(), req.Label(), cfg, req.Bench, opts)
-	return v1.NewResult(req, res, runErr)
+	if s.journal == nil {
+		res, runErr := s.runner.Do(ctx, req.Key(), req.Label(), cfg, req.Bench, opts)
+		return v1.NewResult(req, res, runErr)
+	}
+
+	// Journaled path: committed results are served from disk (byte-
+	// identical — the envelope round-trips verbatim), everything else
+	// is journaled write-ahead, checkpointed while it runs, and
+	// committed only on a recorded outcome.
+	key := req.Key()
+	if doc, ok := s.journal.lookup(key); ok {
+		s.journalHits.Add(1)
+		return doc, nil
+	}
+	if err := s.journal.logRequest(key, req); err != nil {
+		return v1.RunResult{}, err
+	}
+	spec := sim.CheckpointSpec{Path: s.journal.ckptPath(key), EveryCycles: s.journal.every}
+	res, runErr := s.runner.DoFunc(ctx, key, req.Label(), func(ctx context.Context) (sim.Result, error) {
+		return sim.RunOrResume(ctx, cfg, req.Bench, opts, spec)
+	})
+	doc, err := v1.NewResult(req, res, runErr)
+	if err != nil {
+		return v1.RunResult{}, err
+	}
+	if doc.Status == v1.StatusComplete || doc.Status == v1.StatusWearOut {
+		if err := s.journal.commit(key, doc); err != nil {
+			return v1.RunResult{}, err
+		}
+	}
+	return doc, nil
 }
 
 // handleRun: POST /v1/run.

@@ -28,10 +28,10 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"respin/internal/config"
 	"respin/internal/faults"
+	"respin/internal/rng"
 	"respin/internal/stats"
 )
 
@@ -138,7 +138,7 @@ type Controller struct {
 	nCores   int
 	policy   SelectPolicy
 	tieBreak TieBreak
-	rng      *rand.Rand
+	rng      *rng.Rand
 	cycle    uint64
 
 	readSlots []slot // one per core: cores block on reads
@@ -179,7 +179,7 @@ func WithStoreBufferDepth(d int) Option { return func(c *Controller) { c.storeDe
 
 // WithSeed seeds the tie-break RNG.
 func WithSeed(seed int64) Option {
-	return func(c *Controller) { c.rng = rand.New(rand.NewSource(seed)) }
+	return func(c *Controller) { c.rng = rng.New(seed) }
 }
 
 // WithFaults attaches a fault injector: each serviced write draws a
@@ -196,7 +196,7 @@ func New(nCores int, opts ...Option) *Controller {
 	}
 	c := &Controller{
 		nCores:     nCores,
-		rng:        rand.New(rand.NewSource(1)),
+		rng:        rng.New(1),
 		readSlots:  make([]slot, nCores),
 		storeDepth: 4,
 		storeCount: make([]int, nCores),
@@ -584,4 +584,111 @@ func (c *Controller) ReleaseStore(core int) {
 // least one half-miss — the paper reports ~4%.
 func (c *Controller) HalfMissRate() float64 {
 	return stats.Ratio(c.Stats.RequestsWithHalfMiss.Value(), c.Stats.Reads.Value())
+}
+
+// SlotState mirrors one request slot for checkpointing.
+type SlotState struct {
+	Req        Request
+	Remaining  int
+	CoreCycles int
+	HalfMisses int
+	Retries    int
+	Active     bool
+}
+
+func exportSlot(s slot) SlotState {
+	return SlotState{s.req, s.remaining, s.coreCycles, s.halfMisses, s.retries, s.active}
+}
+
+func importSlot(s SlotState) slot {
+	return slot{s.Req, s.Remaining, s.CoreCycles, s.HalfMisses, s.Retries, s.Active}
+}
+
+// ControllerState is the controller's full mutable state, for
+// checkpointing. The pending ring is captured by absolute index — the
+// ring is addressed by cycle modulo its length, so restoring the cycle
+// counter alongside the raw ring contents keeps the addressing aligned.
+type ControllerState struct {
+	Cycle       uint64
+	ReadSlots   []SlotState
+	WriteQueue  []SlotState
+	StoreCount  []int
+	PendingRing [][]SlotState
+	ActiveReads int
+	ActiveMask  uint64
+	PendingN    int
+	ReadBusy    []bool
+	RNGSeed     int64
+	RNGDraws    uint64
+	Stats       Stats
+}
+
+// State captures the controller's mutable state.
+func (c *Controller) State() ControllerState {
+	st := ControllerState{
+		Cycle:       c.cycle,
+		ReadSlots:   make([]SlotState, len(c.readSlots)),
+		StoreCount:  append([]int(nil), c.storeCount...),
+		PendingRing: make([][]SlotState, len(c.pendingRing)),
+		ActiveReads: c.activeReads,
+		ActiveMask:  c.activeMask,
+		PendingN:    c.pendingN,
+		ReadBusy:    append([]bool(nil), c.readBusy...),
+		Stats:       c.Stats,
+	}
+	st.RNGSeed, st.RNGDraws = c.rng.State()
+	for i, s := range c.readSlots {
+		st.ReadSlots[i] = exportSlot(s)
+	}
+	for _, s := range c.writeQueue {
+		st.WriteQueue = append(st.WriteQueue, exportSlot(s))
+	}
+	for i, ring := range c.pendingRing {
+		for _, s := range ring {
+			st.PendingRing[i] = append(st.PendingRing[i], exportSlot(s))
+		}
+	}
+	return st
+}
+
+// Restore repositions a freshly built controller (same core count and
+// options) to a captured state. The Stats histograms are copied in
+// place so pointers registered with telemetry stay valid.
+func (c *Controller) Restore(st ControllerState) error {
+	if len(st.ReadSlots) != len(c.readSlots) {
+		return fmt.Errorf("sharedcache: restore has %d read slots, controller has %d", len(st.ReadSlots), len(c.readSlots))
+	}
+	if len(st.PendingRing) != len(c.pendingRing) {
+		return fmt.Errorf("sharedcache: restore has ring length %d, controller has %d", len(st.PendingRing), len(c.pendingRing))
+	}
+	c.cycle = st.Cycle
+	for i, s := range st.ReadSlots {
+		c.readSlots[i] = importSlot(s)
+	}
+	c.writeQueue = c.writeQueue[:0]
+	for _, s := range st.WriteQueue {
+		c.writeQueue = append(c.writeQueue, importSlot(s))
+	}
+	copy(c.storeCount, st.StoreCount)
+	for i := range c.pendingRing {
+		c.pendingRing[i] = c.pendingRing[i][:0]
+		for _, s := range st.PendingRing[i] {
+			c.pendingRing[i] = append(c.pendingRing[i], importSlot(s))
+		}
+	}
+	c.activeReads = st.ActiveReads
+	c.activeMask = st.ActiveMask
+	c.pendingN = st.PendingN
+	copy(c.readBusy, st.ReadBusy)
+	c.rng.Restore(st.RNGSeed, st.RNGDraws)
+	c.Stats.Requests = st.Stats.Requests
+	c.Stats.Reads = st.Stats.Reads
+	c.Stats.Writes = st.Stats.Writes
+	c.Stats.HalfMisses = st.Stats.HalfMisses
+	c.Stats.RequestsWithHalfMiss = st.Stats.RequestsWithHalfMiss
+	c.Stats.WriteRetries = st.Stats.WriteRetries
+	c.Stats.WriteAborts = st.Stats.WriteAborts
+	*c.Stats.ArrivalsPerCycle = *st.Stats.ArrivalsPerCycle
+	*c.Stats.ReadCoreCycles = *st.Stats.ReadCoreCycles
+	return nil
 }

@@ -82,6 +82,10 @@ type Options struct {
 	// Values above that cap are clamped down; the knob exists for the
 	// epoch-length invariance tests and for debugging.
 	EpochCycles uint64
+	// Checkpoint configures periodic checkpoint writes (see
+	// CheckpointSpec); the zero value disables them. Snapshotting never
+	// mutates state, so results are bit-identical with or without it.
+	Checkpoint CheckpointSpec
 }
 
 // DefaultQuota is the default per-thread instruction budget.
@@ -124,6 +128,12 @@ func (o *Options) Normalize() error {
 	}
 	if o.Workers == 0 {
 		o.Workers = 1
+	}
+	if o.Checkpoint.Path != "" && o.Checkpoint.EveryCycles == 0 && o.Checkpoint.AtCycle == 0 {
+		return fmt.Errorf("sim: checkpoint path %q set without a trigger (EveryCycles or AtCycle)", o.Checkpoint.Path)
+	}
+	if o.Checkpoint.Path == "" && (o.Checkpoint.EveryCycles != 0 || o.Checkpoint.AtCycle != 0) {
+		return fmt.Errorf("sim: checkpoint trigger set without a path")
 	}
 	return nil
 }
@@ -232,6 +242,14 @@ type Sim struct {
 	// flushBuf is the drain's event-ordering scratch, reused across
 	// epochs.
 	flushBuf []flushEvent
+
+	// Checkpoint/resume state: startCycle is where RunContext begins
+	// (zero unless restored), resumed suppresses the duplicate
+	// run.start event, lastCkpt/ckptAtDone drive CheckpointSpec.
+	startCycle uint64
+	resumed    bool
+	lastCkpt   uint64
+	ckptAtDone bool
 
 	// L3 energy/latency scalars copied out of the immutable chip power
 	// model at construction; the drain charges one per answered request.
@@ -419,7 +437,7 @@ func (s *Sim) Run() (Result, error) {
 // check, and chip-wide idle jumps — all of which land exactly on epoch
 // boundaries (kills and the watchdog clamp the epoch so they do).
 func (s *Sim) RunContext(ctx context.Context) (Result, error) {
-	if s.telEvents {
+	if s.telEvents && !s.resumed {
 		s.tel.Emit("run.start", 0, map[string]any{
 			"config":       s.cfg.Kind.String(),
 			"scale":        s.cfg.Scale.String(),
@@ -451,9 +469,12 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 
 	// Endgame: once every unfinished thread is within an epoch's worth
 	// of retirement of its quota, drop to one-cycle epochs so the
-	// completion cycle is detected exactly (monotone, so sticky).
+	// completion cycle is detected exactly (monotone, so sticky). A
+	// resumed run recomputes it on the first iteration: the condition
+	// is monotone in retired instructions, so the recomputation agrees
+	// with the interrupted run's sticky value.
 	endgame := false
-	now := uint64(0)
+	now := s.startCycle
 	for {
 		if now >= s.opts.MaxCycles {
 			s.emitEnd("run.deadlock", now)
@@ -577,6 +598,18 @@ func (s *Sim) RunContext(ctx context.Context) (Result, error) {
 					now = wake
 				}
 			}
+		}
+
+		// Checkpoint at the very end of the iteration: every cluster
+		// sits at a drain boundary, and this boundary's chip-level
+		// obligations (machine check, endurance scrub, idle jump) are
+		// done. Kills due at `now` are still queued in the injector —
+		// both the interrupted and the resumed run deliver them at the
+		// next loop top, from identical state.
+		if err := s.maybeCheckpoint(now); err != nil {
+			s.emitEnd("run.interrupted", now)
+			return s.collect(now), fmt.Errorf("sim: %s/%v checkpoint at cycle %d: %w",
+				s.bench.Name, s.cfg.Kind, now, err)
 		}
 	}
 }

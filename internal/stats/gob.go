@@ -1,0 +1,84 @@
+// Checkpoint support: the statistics types keep their fields unexported
+// (the accessors enforce the invariants), so they implement gob's
+// GobEncoder/GobDecoder explicitly. Each type encodes its exact internal
+// counts, making snapshots lossless — the checkpoint layer depends on
+// restored statistics being bit-identical, not merely equivalent.
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// counterWire, histogramWire and summaryWire are the exported wire
+// mirrors of the unexported internals.
+type counterWire struct{ N uint64 }
+
+type histogramWire struct {
+	Buckets  []uint64
+	Overflow uint64
+	Total    uint64
+	Sum      uint64
+}
+
+type summaryWire struct {
+	N        uint64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(v)
+	return buf.Bytes(), err
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// GobEncode implements gob.GobEncoder.
+func (c Counter) GobEncode() ([]byte, error) { return gobEncode(counterWire{c.n}) }
+
+// GobDecode implements gob.GobDecoder.
+func (c *Counter) GobDecode(data []byte) error {
+	var w counterWire
+	if err := gobDecode(data, &w); err != nil {
+		return err
+	}
+	c.n = w.N
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (h Histogram) GobEncode() ([]byte, error) {
+	return gobEncode(histogramWire{h.buckets, h.overflow, h.total, h.sum})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Histogram) GobDecode(data []byte) error {
+	var w histogramWire
+	if err := gobDecode(data, &w); err != nil {
+		return err
+	}
+	h.buckets = w.Buckets
+	h.overflow = w.Overflow
+	h.total = w.Total
+	h.sum = w.Sum
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s Summary) GobEncode() ([]byte, error) {
+	return gobEncode(summaryWire{s.n, s.mean, s.m2, s.min, s.max})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Summary) GobDecode(data []byte) error {
+	var w summaryWire
+	if err := gobDecode(data, &w); err != nil {
+		return err
+	}
+	s.n, s.mean, s.m2, s.min, s.max = w.N, w.Mean, w.M2, w.Min, w.Max
+	return nil
+}

@@ -391,6 +391,30 @@ func (e *Emitter) Emit(ev Event) {
 	e.seq++
 }
 
+// Seq returns the next sequence number to be assigned (equivalently,
+// how many events have been emitted). A nil emitter reports zero.
+func (e *Emitter) Seq() uint64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}
+
+// SetSeq positions the sequence counter; the checkpoint layer uses it so
+// a resumed run's event stream continues the numbering of the run it
+// replaces, making the combined stream indistinguishable from an
+// uninterrupted one. A nil emitter ignores the call.
+func (e *Emitter) SetSeq(seq uint64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq = seq
+}
+
 // Err returns the first write or encode error, if any.
 func (e *Emitter) Err() error {
 	if e == nil {

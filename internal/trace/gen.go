@@ -2,7 +2,8 @@ package trace
 
 import (
 	"fmt"
-	"math/rand"
+
+	"respin/internal/rng"
 )
 
 // EventType classifies generator events.
@@ -62,7 +63,7 @@ func IsShared(addr uint64) bool { return addr >= sharedBase }
 // Gen is a deterministic per-thread workload generator.
 type Gen struct {
 	prof    Profile
-	rng     *rand.Rand
+	rng     *rng.Rand
 	thread  int
 	cluster int
 
@@ -105,7 +106,7 @@ func NewGen(p Profile, seed int64, thread, cluster int) *Gen {
 	}
 	g := &Gen{
 		prof:    p,
-		rng:     rand.New(rand.NewSource(seed*1_000_003 + int64(thread)*7919 + int64(cluster)*104_729 + 1)),
+		rng:     rng.New(seed*1_000_003 + int64(thread)*7919 + int64(cluster)*104_729 + 1),
 		thread:  thread,
 		cluster: cluster,
 	}
@@ -255,6 +256,57 @@ const (
 	favouriteLoops  = 3
 	loopTransferP   = 0.002
 )
+
+// GenState is the mutable position of a generator, for checkpointing.
+// The profile, thread geometry and per-phase scalars are construction
+// inputs and are rebuilt by NewGen; only the walkers, the phase machine
+// and the RNG position need capturing. The anchors are drawn from the
+// RNG at construction, so rebuilding with the same inputs reproduces
+// them before the RNG position is restored.
+type GenState struct {
+	RNGSeed  int64
+	RNGDraws uint64
+
+	PhaseIdx  int
+	PhaseLeft uint64
+
+	Retired       uint64
+	NextBarrierAt uint64
+	BarrierCount  uint64
+
+	PrivPtr uint64
+	CodePtr uint64
+}
+
+// State captures the generator's mutable position.
+func (g *Gen) State() GenState {
+	seed, draws := g.rng.State()
+	return GenState{
+		RNGSeed:       seed,
+		RNGDraws:      draws,
+		PhaseIdx:      g.phaseIdx,
+		PhaseLeft:     g.phaseLeft,
+		Retired:       g.retired,
+		NextBarrierAt: g.nextBarrierAt,
+		BarrierCount:  g.barrierCount,
+		PrivPtr:       g.privPtr,
+		CodePtr:       g.codePtr,
+	}
+}
+
+// Restore repositions a freshly constructed generator to a captured
+// state. The generator must have been built by NewGen with the same
+// profile, seed, thread and cluster as the one State was taken from.
+func (g *Gen) Restore(st GenState) {
+	g.rng.Restore(st.RNGSeed, st.RNGDraws)
+	g.phaseIdx = st.PhaseIdx
+	g.phaseLeft = st.PhaseLeft
+	g.retired = st.Retired
+	g.nextBarrierAt = st.NextBarrierAt
+	g.barrierCount = st.BarrierCount
+	g.privPtr = st.PrivPtr
+	g.codePtr = st.CodePtr
+}
 
 // NextFetchAddr advances the instruction stream by one fetch group and
 // returns its block address. The walker cycles sequentially through the
